@@ -1,0 +1,69 @@
+"""Ablation: the baseline's backtrack-limit sweep (the c6288 rows).
+
+Table 6 sweeps the commercial tool's backtrack limit from 1000 to 25000
+on c6288 (the array multiplier): raising the limit converts "backtrack
+limited" paths into decided ones at a steep CPU cost, while the
+developed tool needs no such knob.  This bench reproduces the sweep on
+the multiplier stand-in."""
+
+import pytest
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.core.sta import TruePathSTA
+from repro.eval.iscas import build_circuit
+
+LIMITS = [50, 500, 5000]
+STRUCTURAL = 300
+
+
+@pytest.fixture(scope="module")
+def multiplier():
+    return build_circuit("c6288", scale=0.375)  # a 6x6 array multiplier
+
+
+@pytest.fixture(scope="module")
+def sweep(multiplier, lut90):
+    results = {}
+    for limit in LIMITS:
+        tool = TwoStepSTA(multiplier, lut90, backtrack_limit=limit)
+        results[limit] = tool.run(max_structural_paths=STRUCTURAL)
+    return results
+
+
+def test_sweep_cost(benchmark, multiplier, lut90):
+    def run_smallest():
+        tool = TwoStepSTA(multiplier, lut90, backtrack_limit=LIMITS[0])
+        return tool.run(max_structural_paths=STRUCTURAL)
+
+    report = benchmark.pedantic(run_smallest, rounds=1, iterations=1)
+    assert report.paths_explored == STRUCTURAL
+
+
+def test_aborts_decrease_with_limit(benchmark, sweep):
+    aborted = benchmark(lambda: [sweep[l].backtrack_limited for l in LIMITS])
+    assert aborted[0] >= aborted[-1]
+
+
+def test_true_paths_increase_with_limit(benchmark, sweep):
+    true_counts = benchmark(lambda: [sweep[l].true_paths for l in LIMITS])
+    assert true_counts[-1] >= true_counts[0]
+
+
+def test_decided_paths_monotone(benchmark, sweep):
+    decided = benchmark(lambda: [
+        sweep[l].true_paths + sweep[l].declared_false for l in LIMITS
+    ])
+    assert decided == sorted(decided)
+
+
+def test_developed_tool_needs_no_limit(benchmark, multiplier, poly90):
+    """The single-pass tool decides every explored path without a
+    backtrack-limit knob (no aborts)."""
+    sta = TruePathSTA(multiplier, poly90)
+
+    def enumerate_capped():
+        return sta.enumerate_paths(max_paths=3000)
+
+    paths = benchmark.pedantic(enumerate_capped, rounds=1, iterations=1)
+    assert paths
+    assert sta.last_stats.justification_aborts == 0

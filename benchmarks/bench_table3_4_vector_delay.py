@@ -1,0 +1,118 @@
+"""Tables 3 & 4: sensitization-vector-dependent gate delay.
+
+Electrically measures AO22 (input A) and OA12 (input C) under every
+vector, both edges, all three technologies -- the exact setup of the
+paper's Tables 3 and 4 -- and asserts the shape: case orderings, the
+sign and rough magnitude of the percentage differences, and the
+per-node trends (90nm fastest, 65nm LP slower with smaller spread).
+
+Every test takes the ``benchmark`` fixture so the whole module runs
+under ``--benchmark-only``; the electrical sweeps are cached per module
+so the heavy measurement happens once.
+"""
+
+import pytest
+
+from repro.eval.exp_tables34 import vector_delay_rows
+from repro.tech.presets import TECHNOLOGIES
+
+STEPS = 250
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return vector_delay_rows("AO22", "A", steps_per_window=STEPS)
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return vector_delay_rows("OA12", "C", steps_per_window=STEPS)
+
+
+def _rows(table, tech, edge):
+    return next(r for r in table if r["tech"] == tech and r["edge"] == edge)
+
+
+def test_table3_single_node_measurement(benchmark):
+    """Cost of one node's Table 3 measurement (12 transients)."""
+    rows = benchmark.pedantic(
+        vector_delay_rows, args=("AO22", "A"),
+        kwargs={"technologies": {"130nm": TECHNOLOGIES["130nm"]},
+                "steps_per_window": STEPS},
+        rounds=1, iterations=1,
+    )
+    d = _rows(rows, "130nm", "In Fall")["delays"]
+    assert d[1] < d[3] < d[2]
+
+
+def test_table3_fall_ordering_every_node(benchmark, table3):
+    """In Fall: case 1 < case 3 < case 2 at every node (paper Table 3)."""
+    rows = benchmark(lambda: [
+        _rows(table3, tech, "In Fall") for tech in ("130nm", "90nm", "65nm")
+    ])
+    for row in rows:
+        d = row["delays"]
+        assert d[1] < d[3] < d[2], row["tech"]
+
+
+def test_table3_fall_spread_magnitudes(benchmark, table3):
+    """Case-2 spreads: double digits at 130/90nm, smaller at 65nm."""
+    spreads = benchmark(lambda: {
+        tech: _rows(table3, tech, "In Fall")["diffs"][2]
+        for tech in ("130nm", "90nm", "65nm")
+    })
+    assert spreads["130nm"] > 0.10
+    assert spreads["90nm"] > 0.10
+    assert 0.05 < spreads["65nm"] < spreads["130nm"]
+
+
+def test_table3_rise_insensitive(benchmark, table3):
+    """In Rise variations stay within a few percent (paper: |diff|<6%)."""
+    diffs = benchmark(lambda: [
+        _rows(table3, tech, "In Rise")["diffs"]
+        for tech in ("130nm", "90nm", "65nm")
+    ])
+    for d in diffs:
+        assert all(abs(v) < 0.08 for v in d.values())
+
+
+def test_table3_node_speed_trend(benchmark, table3):
+    """90nm is the fastest node; the LP-flavoured 65nm is slower."""
+    c1 = benchmark(lambda: {
+        tech: _rows(table3, tech, "In Rise")["delays"][1]
+        for tech in ("130nm", "90nm", "65nm")
+    })
+    assert c1["90nm"] < c1["130nm"]
+    assert c1["90nm"] < c1["65nm"]
+
+
+def test_table4_rise_ordering(benchmark, table4):
+    """In Rise: case 1 slowest, case 3 fastest at every node (Table 4)."""
+    rows = benchmark(lambda: [
+        _rows(table4, tech, "In Rise") for tech in ("130nm", "90nm", "65nm")
+    ])
+    for row in rows:
+        d = row["delays"]
+        assert d[3] < d[2] < d[1], row["tech"]
+
+
+def test_table4_diffs_negative(benchmark, table4):
+    """Cases 2/3 faster than case 1: negative diffs, case 3 larger in
+    magnitude (paper: -12% / -17% at 130nm)."""
+    diffs = benchmark(lambda: {
+        tech: _rows(table4, tech, "In Rise")["diffs"]
+        for tech in ("130nm", "90nm", "65nm")
+    })
+    for tech, d in diffs.items():
+        assert d[2] < -0.03, tech
+        assert d[3] < d[2], tech
+
+
+def test_table4_single_node_measurement(benchmark):
+    rows = benchmark.pedantic(
+        vector_delay_rows, args=("OA12", "C"),
+        kwargs={"technologies": {"90nm": TECHNOLOGIES["90nm"]},
+                "steps_per_window": STEPS},
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 2  # both edges

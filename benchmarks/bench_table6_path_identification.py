@@ -1,0 +1,118 @@
+"""Table 6: path identification across the benchmark suite.
+
+Runs both tools over a down-scaled suite (the generators are calibrated
+stand-ins; see DESIGN.md section 4) and asserts the paper's relative
+claims rather than its absolute per-circuit counts:
+
+* the single-pass tool enumerates *every* sensitization (vector-resolved
+  true paths) and is not slower than the baseline's limited check;
+* the baseline leaves a substantial fraction of explored structural
+  paths without any input vector (paper: 32-88%);
+* every course the baseline proves true is also found by the developed
+  tool (soundness cross-check);
+* on multi-vector paths the baseline's single easy vector frequently is
+  not the worst one (paper: mean only ~40% correct).
+"""
+
+import pytest
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.core.sta import TruePathSTA
+from repro.eval import exp_table6
+from repro.eval.iscas import build_circuit
+
+CIRCUITS = ["c17", "c432", "c499", "c880a", "c1355"]
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def table6(poly90, lut90):
+    return exp_table6.run(
+        poly90, lut90,
+        circuits=CIRCUITS,
+        scale=SCALE,
+        backtrack_limit=1000,
+        max_dev_paths=20000,
+        max_structural_paths=1000,
+    )
+
+
+def test_table6_full_run(benchmark, poly90, lut90):
+    result = benchmark.pedantic(
+        exp_table6.run, args=(poly90, lut90),
+        kwargs=dict(circuits=["c17", "c432"], scale=0.2,
+                    max_dev_paths=5000, max_structural_paths=500),
+        rounds=1, iterations=1,
+    )
+    assert len(result["rows"]) == 2
+
+
+def test_c17_exact_counts(benchmark, table6):
+    row = benchmark(lambda: table6["rows"][0])
+    assert row.circuit == "c17"
+    # 11 true paths x 2 polarities; no complex gates in c17.
+    assert row.dev_input_vectors == 22
+    assert row.base_true == 11
+    assert row.base_false_misidentified == 0
+
+
+def test_multi_vector_paths_found(benchmark, table6):
+    rows = benchmark(lambda: table6["rows"])
+    assert any(r.dev_multi_vector_paths > 0 for r in rows[1:])
+
+
+def test_no_vector_ratio_substantial(benchmark, table6):
+    """Paper Table 6: 32-88% of explored structural paths end with no
+    vector; our random/functional stand-ins land in a similar band."""
+    ratios = benchmark(lambda: [
+        r.no_vector_ratio for r in table6["rows"] if r.circuit != "c17"
+    ])
+    assert any(r > 0.25 for r in ratios)
+
+
+def test_developed_cpu_competitive(benchmark, table6):
+    """The exhaustive single-pass tool should not be dramatically slower
+    than the baseline's limited two-step loop (the paper reports it is
+    typically much faster)."""
+    rows = benchmark(lambda: table6["rows"])
+    dev = sum(r.dev_cpu for r in rows)
+    base = sum(r.base_cpu for r in rows)
+    assert dev < 10 * max(base, 0.05)
+
+
+def test_worst_delay_prediction_imperfect(benchmark, table6):
+    """Wherever multi-vector paths exist, the baseline's easy vector
+    must not always be the worst one (paper mean: ~40%)."""
+    ratios = benchmark(lambda: [
+        r.worst_delay_ratio for r in table6["rows"]
+        if r.worst_delay_ratio is not None
+    ])
+    if ratios:  # scale-dependent; when defined, it must be imperfect
+        assert min(ratios) < 1.0
+
+
+def test_baseline_true_subset_of_developed(benchmark, poly90, lut90):
+    def check():
+        circuit = build_circuit("c432", scale=SCALE)
+        dev = TruePathSTA(circuit, poly90)
+        dev_courses = {p.course for p in dev.enumerate_paths(max_paths=20000)}
+        base = TwoStepSTA(circuit, lut90, backtrack_limit=1000)
+        report = base.run(max_structural_paths=1000)
+        base_courses = {p.course for p in base.true_paths(report)}
+        return dev_courses, base_courses
+
+    dev_courses, base_courses = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert base_courses <= dev_courses
+
+
+def test_single_pass_enumeration_speed(benchmark, poly90):
+    """Timing of the core contribution: exhaustive single-pass true-path
+    enumeration on the c432 stand-in."""
+    circuit = build_circuit("c432", scale=SCALE)
+    sta = TruePathSTA(circuit, poly90)
+
+    def enumerate_all():
+        return sta.enumerate_paths(max_paths=20000)
+
+    paths = benchmark(enumerate_all)
+    assert paths

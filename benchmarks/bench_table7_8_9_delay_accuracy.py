@@ -1,0 +1,76 @@
+"""Tables 7, 8, 9: delay accuracy vs electrical simulation.
+
+One test per technology node (Table 7 = 130nm, Table 8 = 90nm,
+Table 9 = 65nm).  Each samples multi-vector true paths from suite
+circuits, replays them through the transistor-level chain simulator and
+scores both tools.  The asserted shape, per the paper:
+
+* the developed tool's mean path error is a few percent;
+* the vector-blind LUT baseline's error is larger on every circuit;
+* the gap is systematic across technologies (the paper's baseline
+  degrades toward 65nm where it reaches ~20-33% mean path error).
+"""
+
+import pytest
+
+from repro.eval import exp_accuracy
+
+CIRCUITS = ["c17", "c432", "c499"]
+SCALE = 0.25
+PATHS = 4
+STEPS = 250
+
+
+def _run(tech, poly, lut, label):
+    return exp_accuracy.run(
+        tech, poly, lut,
+        circuits=CIRCUITS, scale=SCALE,
+        paths_per_circuit=PATHS, steps_per_window=STEPS,
+        table_label=label,
+    )
+
+
+def _assert_shape(result):
+    rows = result["rows"]
+    for row in rows:
+        assert row.developed.mean_path_error < 0.12, row.circuit
+    # Aggregate claim: the vector-resolved tool is more accurate overall
+    # (per-circuit sampling noise can flip an individual NAND-dominated
+    # row, as in the paper's own c499@130nm outlier).
+    dev_mean = sum(r.developed.mean_path_error for r in rows) / len(rows)
+    base_mean = sum(r.baseline.mean_path_error for r in rows) / len(rows)
+    assert dev_mean <= base_mean
+    # And on at least one multi-vector-rich circuit the gap is large.
+    assert any(
+        r.baseline.mean_path_error > 1.5 * r.developed.mean_path_error
+        for r in rows
+    )
+
+
+def test_table7_130nm(benchmark, tech130, poly130, lut130):
+    result = benchmark.pedantic(
+        _run, args=(tech130, poly130, lut130, "Table 7"),
+        rounds=1, iterations=1,
+    )
+    _assert_shape(result)
+
+
+def test_table8_90nm(benchmark, tech90, poly90, lut90):
+    result = benchmark.pedantic(
+        _run, args=(tech90, poly90, lut90, "Table 8"),
+        rounds=1, iterations=1,
+    )
+    _assert_shape(result)
+
+
+def test_table9_65nm(benchmark, tech65, poly65, lut65):
+    result = benchmark.pedantic(
+        _run, args=(tech65, poly65, lut65, "Table 9"),
+        rounds=1, iterations=1,
+    )
+    _assert_shape(result)
+    # The baseline's penalty for ignoring vectors exists at the finer
+    # node too (paper: its 65nm mean path errors are the largest).
+    worst_base = max(r.baseline.mean_path_error for r in result["rows"])
+    worst_dev = max(r.developed.mean_path_error for r in result["rows"])
+    assert worst_base > worst_dev

@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Characterized libraries are disk-cached; the first cold run spends a few
+minutes per technology in the transistor-level characterizer, subsequent
+runs load JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.gates.library import default_library
+from repro.tech.presets import TECHNOLOGIES
+
+
+def _poly(tech):
+    return characterize_library(default_library(), tech, grid=FAST_GRID)
+
+
+def _lut(tech):
+    return characterize_library(
+        default_library(), tech, grid=FAST_GRID, model="lut",
+        vector_mode="default",
+    )
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    return TECHNOLOGIES["90nm"]
+
+
+@pytest.fixture(scope="session")
+def tech130():
+    return TECHNOLOGIES["130nm"]
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    return TECHNOLOGIES["65nm"]
+
+
+@pytest.fixture(scope="session")
+def poly90(tech90):
+    return _poly(tech90)
+
+
+@pytest.fixture(scope="session")
+def lut90(tech90):
+    return _lut(tech90)
+
+
+@pytest.fixture(scope="session")
+def poly130(tech130):
+    return _poly(tech130)
+
+
+@pytest.fixture(scope="session")
+def lut130(tech130):
+    return _lut(tech130)
+
+
+@pytest.fixture(scope="session")
+def poly65(tech65):
+    return _poly(tech65)
+
+
+@pytest.fixture(scope="session")
+def lut65(tech65):
+    return _lut(tech65)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The Figure 4 case study: find the vector a commercial tool misses.
+
+Builds the paper's example circuit, runs the developed single-pass tool
+and the two-step baseline, and verifies electrically that the baseline's
+reported critical-path delay is optimistic because it only justifies the
+*easiest* sensitization vector of the AO22 on the path.
+
+::
+
+    python examples/critical_path_hunt.py [--tech 130nm]
+"""
+
+import argparse
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.core.sta import TruePathSTA
+from repro.eval.exp_table5 import run as run_table5
+from repro.eval.fig4 import CRITICAL_NETS, fig4_circuit
+from repro.gates.library import default_library
+from repro.tech.presets import technology
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tech", default="130nm",
+                        choices=["130nm", "90nm", "65nm"])
+    parser.add_argument("--steps", type=int, default=300)
+    args = parser.parse_args()
+
+    tech = technology(args.tech)
+    library = default_library()
+    print(f"Characterizing for {tech.name} (cached after first run) ...")
+    poly = characterize_library(library, tech, grid=FAST_GRID)
+    lut = characterize_library(library, tech, grid=FAST_GRID,
+                               model="lut", vector_mode="default")
+
+    circuit = fig4_circuit()
+    print(f"\nCircuit: {circuit}")
+    print(f"Critical path: {' -> '.join(CRITICAL_NETS)} "
+          "(through pin A of the AO22)\n")
+
+    result = run_table5(tech, poly, lut, steps_per_window=args.steps)
+    print(result["text"])
+    print()
+
+    baseline_sigs = result["baseline_signatures"]
+    print(f"Two-step baseline reported {len(baseline_sigs)} vector(s) "
+          "for this path (the easiest justification).")
+    if result["baseline_missed_worst"]:
+        gap = result.get("golden_gap")
+        print("It MISSED the worst vector -- electrically the worst vector "
+              f"is {gap * 100:.1f}% slower than the fastest one."
+              if gap is not None else
+              "It MISSED the worst vector.")
+    print("\nThe single-pass tool keeps one path record per sensitization "
+          "vector, so the worst case is reported by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Tool-vs-tool comparison on the benchmark suite (Table 6 in small).
+
+Runs the developed single-pass tool and the two-step baseline over a
+few suite circuits and prints the Table 6 counters: input vectors and
+multi-vector paths found, CPU times, true/false/backtrack-limited path
+counts and the worst-delay prediction ratio.
+
+::
+
+    python examples/tool_comparison_iscas.py --circuits c17 c432 c499 --scale 0.3
+"""
+
+import argparse
+
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.eval.exp_table6 import run as run_table6
+from repro.gates.library import default_library
+from repro.tech.presets import technology
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tech", default="90nm",
+                        choices=["130nm", "90nm", "65nm"])
+    parser.add_argument("--circuits", nargs="+",
+                        default=["c17", "c432", "c499", "c880a"])
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="suite down-scaling factor (1.0 = full size)")
+    parser.add_argument("--backtrack-limit", type=int, default=1000)
+    parser.add_argument("--max-dev-paths", type=int, default=20000)
+    parser.add_argument("--max-structural", type=int, default=1000)
+    args = parser.parse_args()
+
+    tech = technology(args.tech)
+    library = default_library()
+    print(f"Characterizing for {tech.name} (cached after first run) ...")
+    poly = characterize_library(library, tech, grid=FAST_GRID)
+    lut = characterize_library(library, tech, grid=FAST_GRID,
+                               model="lut", vector_mode="default")
+
+    result = run_table6(
+        poly,
+        lut,
+        circuits=args.circuits,
+        scale=args.scale,
+        backtrack_limit=args.backtrack_limit,
+        max_dev_paths=args.max_dev_paths,
+        max_structural_paths=args.max_structural,
+    )
+    print()
+    print(result["text"])
+    print()
+    print("Reading guide (matches the paper's Table 6 columns):")
+    print("  input vectors   - sensitizations found by the single-pass tool")
+    print("  #false(mis)     - paths the baseline wrongly declared false")
+    print("  no-vector %     - baseline paths left without any input vector")
+    print("  worst-delay %   - how often the baseline's single vector is the")
+    print("                    true worst vector of its path")
+
+
+if __name__ == "__main__":
+    main()

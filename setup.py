@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so the PEP 517
+editable path is unavailable; this shim lets ``pip install -e .`` use the
+legacy ``setup.py develop`` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Sensitization-vector-aware static timing analysis.
+
+Reproduction of *"An efficient and scalable STA tool with direct path
+estimation and exhaustive sensitization vector exploration for optimal
+delay computation"* (Barcelo, Gili, Bota, Segura -- DATE 2011).
+
+The package provides:
+
+* :mod:`repro.gates` -- a standard-cell library of primitive and complex
+  gates with per-pin sensitization-vector enumeration.
+* :mod:`repro.netlist` -- circuit graphs, ISCAS ``.bench`` / structural
+  Verilog parsers, technology mapping and benchmark-circuit generators.
+* :mod:`repro.spice` -- a transistor-level electrical simulator used both
+  as the golden delay reference and for cell characterization.
+* :mod:`repro.tech` -- 130 nm / 90 nm / 65 nm technology presets.
+* :mod:`repro.charlib` -- automatic cell characterization, the SPDM-like
+  polynomial delay model and the NLDM-style LUT model.
+* :mod:`repro.core` -- the paper's contribution: a single-pass true-path
+  finder that explores every sensitization vector of every complex gate
+  while it traverses the circuit.
+* :mod:`repro.baseline` -- a two-step "commercial tool" emulation used as
+  the comparison baseline.
+* :mod:`repro.eval` -- experiment runners that regenerate every table of
+  the paper's evaluation.
+
+Top-level names are resolved lazily (PEP 562) so that importing one
+subsystem does not pull in the whole package.
+"""
+
+import importlib
+
+__version__ = "1.0.0"
+
+#: Public name -> defining module.
+_EXPORTS = {
+    "BoolFunc": "repro.gates.logic",
+    "Cell": "repro.gates.cell",
+    "SensitizationVector": "repro.gates.cell",
+    "Library": "repro.gates.library",
+    "default_library": "repro.gates.library",
+    "Circuit": "repro.netlist.circuit",
+    "Instance": "repro.netlist.circuit",
+    "Net": "repro.netlist.circuit",
+    "Technology": "repro.tech.technology",
+    "TECHNOLOGIES": "repro.tech.presets",
+    "technology": "repro.tech.presets",
+    "CharacterizedLibrary": "repro.charlib.store",
+    "characterize_library": "repro.charlib.characterize",
+    "TruePathSTA": "repro.core.sta",
+    "TimedPath": "repro.core.path",
+    "TwoStepSTA": "repro.baseline.sta2step",
+    "GraphSTA": "repro.core.graphsta",
+    "TimingSimulator": "repro.netlist.timingsim",
+    "sized_library": "repro.gates.library",
+    "slack_report": "repro.core.report",
+    "hold_report": "repro.core.report",
+    "paths_to_json": "repro.core.report",
+    "write_liberty": "repro.charlib.liberty",
+    "read_liberty": "repro.charlib.liberty",
+    "write_sdf": "repro.netlist.sdf",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

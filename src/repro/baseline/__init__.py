@@ -1,0 +1,23 @@
+"""Two-step "commercial tool" emulation.
+
+The comparison baseline of the paper's evaluation: structural paths are
+enumerated longest-first from vector-blind worst-case gate delays
+(:mod:`repro.baseline.structural`), then each path is checked for
+sensitizability with a backtrack-limited, easiest-vector-first
+justification that never explores alternative vector combinations
+(:mod:`repro.baseline.sensitize`).  Delays come from NLDM-style LUTs
+characterized under a single default vector per pin.
+"""
+
+from repro.baseline.structural import StructuralEnumerator, StructuralPath
+from repro.baseline.sensitize import PathStatus, SensitizeOutcome, TwoStepSensitizer
+from repro.baseline.sta2step import TwoStepSTA
+
+__all__ = [
+    "PathStatus",
+    "SensitizeOutcome",
+    "StructuralEnumerator",
+    "StructuralPath",
+    "TwoStepSTA",
+    "TwoStepSensitizer",
+]

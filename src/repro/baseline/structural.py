@@ -1,0 +1,107 @@
+"""Longest-first structural path enumeration (baseline step one).
+
+Commercial two-step timers first enumerate structural paths in
+decreasing delay order *without* checking sensitizability.  This module
+implements exact longest-first enumeration on the circuit DAG with an
+A*-style priority queue: the priority of a partial path is its
+accumulated worst-case delay plus the exact longest remaining delay to
+any output (reverse-topological bound), so complete paths pop in
+non-increasing order of their structural delay metric.
+
+The well-known flaw the paper exploits: there is no way to know how
+many structural paths must be enumerated before the N-th *true* path is
+found.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.delaycalc import DelayCalculator
+from repro.core.engine import EngineCircuit
+
+
+@dataclass(frozen=True)
+class StructuralPath:
+    """A candidate path before sensitization checking."""
+
+    #: (gate index, pin name) hops from input to output.
+    hops: Tuple[Tuple[int, str], ...]
+    origin_net: int
+    terminal_net: int
+    #: Structural (worst-case, vector-blind) delay metric used for
+    #: ordering; not a timing claim.
+    structural_delay: float
+
+    @property
+    def length(self) -> int:
+        return len(self.hops)
+
+
+class StructuralEnumerator:
+    """Enumerates structural paths longest-first."""
+
+    def __init__(self, ec: EngineCircuit, calc: DelayCalculator):
+        self.ec = ec
+        self.calc = calc
+        self._bounds = calc.remaining_bounds()
+
+    def iter_paths(self, limit: Optional[int] = None) -> Iterator[StructuralPath]:
+        """Yield structural paths in non-increasing structural delay."""
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, Tuple[Tuple[int, str], ...], float, int]] = []
+        for origin in self.ec.input_ids:
+            estimate = self._bounds[origin]
+            heapq.heappush(
+                heap, (-estimate, next(counter), origin, (), 0.0, origin)
+            )
+        emitted = 0
+        while heap:
+            neg_est, _tie, net, hops, delay, origin = heapq.heappop(heap)
+            if self.ec.is_output[net] and hops:
+                yield StructuralPath(
+                    hops=hops,
+                    origin_net=origin,
+                    terminal_net=net,
+                    structural_delay=delay,
+                )
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+            for gate_index, pin in self.ec.sinks[net]:
+                gate = self.ec.gates[gate_index]
+                new_delay = delay + self.calc.worst_gate_delay(gate)
+                out = gate.output_net
+                estimate = new_delay + self._bounds[out]
+                heapq.heappush(
+                    heap,
+                    (
+                        -estimate,
+                        next(counter),
+                        out,
+                        hops + ((gate_index, pin),),
+                        new_delay,
+                        origin,
+                    ),
+                )
+
+    def count_paths(self) -> int:
+        """Total number of structural input-to-output paths (dynamic
+        programming; no enumeration)."""
+        # Walk gates in reverse topological order: paths from a net =
+        # paths from each (gate, pin) hop it feeds, plus 1 if PO.
+        totals = [1 if self.ec.is_output[n] else 0 for n in range(self.ec.num_nets)]
+        for gate in reversed(self.ec.gates):
+            down = totals[gate.output_net]
+            for net in gate.input_nets:
+                totals[net] += down
+        # A primary input that is also a primary output contributes a
+        # zero-gate "path" to the DP that the enumerator (rightly)
+        # never emits; exclude it.
+        return sum(
+            totals[n] - (1 if self.ec.is_output[n] else 0)
+            for n in self.ec.input_ids
+        )

@@ -1,0 +1,32 @@
+"""Cell characterization and delay models.
+
+* :mod:`repro.charlib.polynomial` -- the paper's SPDM-like analytical
+  model ``f(Fo, t_in, T, VDD)`` (equation (3));
+* :mod:`repro.charlib.regression` -- recursive polynomial regression
+  with adaptive per-variable order;
+* :mod:`repro.charlib.lut` -- NLDM-style lookup tables with bilinear
+  interpolation (the commercial baseline's model);
+* :mod:`repro.charlib.characterize` -- automatic electrical sweeps per
+  (cell, pin, sensitization vector, edge);
+* :mod:`repro.charlib.store` -- the characterized library container with
+  JSON persistence and an on-disk cache;
+* :mod:`repro.charlib.fanout` -- equivalent-fanout computation inside a
+  circuit.
+"""
+
+from repro.charlib.polynomial import PolynomialModel
+from repro.charlib.lut import LutModel
+from repro.charlib.store import CharacterizedLibrary, TimingArc
+from repro.charlib.characterize import CharacterizationGrid, characterize_library
+from repro.charlib.fanout import equivalent_fanout, output_load
+
+__all__ = [
+    "CharacterizationGrid",
+    "CharacterizedLibrary",
+    "LutModel",
+    "PolynomialModel",
+    "TimingArc",
+    "characterize_library",
+    "equivalent_fanout",
+    "output_load",
+]

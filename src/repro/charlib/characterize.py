@@ -1,0 +1,265 @@
+"""Automatic library characterization.
+
+For every cell, every input pin, every sensitization vector of that pin
+and both input edges, the characterizer runs the electrical testbench of
+:mod:`repro.spice.cellsim` over a grid of (equivalent fanout, input
+transition time, temperature, supply) points, then fits the delay and
+output-slew models:
+
+* ``model="polynomial"`` -- the paper's tool: adaptive-order polynomial
+  per *vector-resolved* arc (``vector_mode="all"``);
+* ``model="lut"`` -- the commercial baseline: NLDM tables per pin/edge
+  characterized under a *single* default vector (``vector_mode="default"``),
+  which is precisely the simplification whose cost Tables 7-9 measure.
+
+Characterization output is cached on disk keyed by a hash of everything
+that affects the numbers (technology, grid, cell list, model settings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.charlib.lut import LutModel
+from repro.charlib.regression import fit_adaptive, fit_fixed
+from repro.charlib.store import BLIND, CharacterizedLibrary, TimingArc, cache_dir
+from repro.gates.cell import Cell, SensitizationVector
+from repro.gates.library import Library
+from repro.spice.cellsim import CellSimulator, input_capacitance
+from repro.tech.technology import Technology
+
+_PS = 1e-12
+
+
+@dataclass(frozen=True)
+class CharacterizationGrid:
+    """Full-factorial sweep specification.
+
+    ``vdd_scale`` entries multiply the technology's nominal supply so a
+    single grid works across nodes.
+    """
+
+    fo: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0)
+    t_in: Tuple[float, ...] = (10 * _PS, 40 * _PS, 120 * _PS, 300 * _PS)
+    temp: Tuple[float, ...] = (25.0,)
+    vdd_scale: Tuple[float, ...] = (1.0,)
+
+    def points(self, tech: Technology) -> List[Tuple[float, float, float, float]]:
+        return [
+            (fo, t_in, temp, scale * tech.vdd)
+            for fo in self.fo
+            for t_in in self.t_in
+            for temp in self.temp
+            for scale in self.vdd_scale
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self.fo) * len(self.t_in) * len(self.temp) * len(self.vdd_scale)
+
+    def describe(self) -> Dict:
+        return {
+            "fo": list(self.fo),
+            "t_in": list(self.t_in),
+            "temp": list(self.temp),
+            "vdd_scale": list(self.vdd_scale),
+        }
+
+
+#: Grid with temperature and supply variation (PVT studies / ablation).
+EXTENDED_GRID = CharacterizationGrid(
+    temp=(0.0, 25.0, 75.0, 125.0),
+    vdd_scale=(0.9, 1.0, 1.1),
+)
+
+#: Small grid for unit tests.
+FAST_GRID = CharacterizationGrid(
+    fo=(1.0, 3.0, 6.0),
+    t_in=(20 * _PS, 80 * _PS, 240 * _PS),
+)
+
+
+def _default_vectors(cell: Cell, pin: str) -> List[SensitizationVector]:
+    """The single vector per output polarity a vector-blind tool would
+    characterize with (the first -- "easiest" -- case of each polarity)."""
+    chosen: Dict[bool, SensitizationVector] = {}
+    for vec in cell.sensitization_vectors(pin):
+        if vec.inverting not in chosen:
+            chosen[vec.inverting] = vec
+    return list(chosen.values())
+
+
+def characterize_cell(
+    cell: Cell,
+    tech: Technology,
+    grid: CharacterizationGrid,
+    vector_mode: str = "all",
+    steps_per_window: int = 400,
+) -> Dict[Tuple[str, str, bool], List[Dict]]:
+    """Raw sweep data per (pin, vector_id, input_rising).
+
+    Every sample dict carries the grid point, the measured ``delay`` and
+    ``out_slew`` (seconds) and the output polarity.
+    """
+    sim = CellSimulator(cell, tech, steps_per_window=steps_per_window)
+    mean_cap = sum(
+        input_capacitance(cell, p, tech) for p in cell.inputs
+    ) / len(cell.inputs)
+    out: Dict[Tuple[str, str, bool], List[Dict]] = {}
+    for pin in cell.inputs:
+        if vector_mode == "all":
+            vectors = cell.sensitization_vectors(pin)
+        elif vector_mode == "default":
+            vectors = _default_vectors(cell, pin)
+        else:
+            raise ValueError(f"unknown vector_mode {vector_mode!r}")
+        for vec in vectors:
+            for input_rising in (True, False):
+                samples: List[Dict] = []
+                for fo, t_in, temp, vdd in grid.points(tech):
+                    result = sim.propagation(
+                        pin,
+                        vec,
+                        input_rising,
+                        t_in=t_in,
+                        c_load=fo * mean_cap,
+                        temp=temp,
+                        vdd=vdd,
+                    )
+                    samples.append(
+                        {
+                            "fo": fo,
+                            "t_in": t_in,
+                            "temp": temp,
+                            "vdd": vdd,
+                            "delay": result.delay,
+                            "out_slew": result.out_slew,
+                            "out_rising": result.out_rising,
+                        }
+                    )
+                out[(pin, vec.vector_id, input_rising)] = samples
+    return out
+
+
+def _fit_models(samples: List[Dict], model: str, grid: CharacterizationGrid,
+                tech: Technology, target_rel_error: float,
+                fixed_orders: Optional[Tuple[int, int, int, int]]):
+    points = np.array([[s["fo"], s["t_in"], s["temp"], s["vdd"]] for s in samples])
+    delays = np.array([s["delay"] for s in samples])
+    slews = np.array([s["out_slew"] for s in samples])
+    if model == "polynomial":
+        if fixed_orders is not None:
+            delay_model, delay_report = fit_fixed(points, delays, fixed_orders)
+            slew_model, _ = fit_fixed(points, slews, fixed_orders)
+        else:
+            delay_model, delay_report = fit_adaptive(
+                points, delays, target_rel_error=target_rel_error
+            )
+            slew_model, _ = fit_adaptive(
+                points, slews, target_rel_error=target_rel_error
+            )
+        return delay_model, slew_model, delay_report.orders
+    if model == "lut":
+        ref_temp = grid.temp[len(grid.temp) // 2]
+        ref_vdd = grid.vdd_scale[len(grid.vdd_scale) // 2] * tech.vdd
+        delay_model = LutModel.from_samples(
+            samples, grid.t_in, grid.fo, "delay", ref_temp, ref_vdd
+        )
+        slew_model = LutModel.from_samples(
+            samples, grid.t_in, grid.fo, "out_slew", ref_temp, ref_vdd
+        )
+        return delay_model, slew_model, None
+    raise ValueError(f"unknown model {model!r}")
+
+
+def characterize_library(
+    library: Library,
+    tech: Technology,
+    grid: Optional[CharacterizationGrid] = None,
+    model: str = "polynomial",
+    vector_mode: str = "all",
+    target_rel_error: float = 0.02,
+    fixed_orders: Optional[Tuple[int, int, int, int]] = None,
+    cells: Optional[Iterable[str]] = None,
+    steps_per_window: int = 400,
+    use_cache: bool = True,
+) -> CharacterizedLibrary:
+    """Characterize (a subset of) a library under one technology.
+
+    Results are cached on disk; a cache hit costs one JSON load.
+    """
+    grid = grid or CharacterizationGrid()
+    cell_names = sorted(cells) if cells is not None else sorted(
+        c.name for c in library
+    )
+    key_blob = json.dumps(
+        {
+            "tech": repr(tech),
+            "grid": grid.describe(),
+            "model": model,
+            "vector_mode": vector_mode,
+            "target": target_rel_error,
+            "fixed_orders": fixed_orders,
+            "cells": cell_names,
+            "steps": steps_per_window,
+            "version": 3,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(key_blob.encode()).hexdigest()[:20]
+    cache_path = cache_dir() / f"charlib_{digest}.json"
+    if use_cache and cache_path.exists():
+        return CharacterizedLibrary.load(cache_path)
+
+    arcs: List[TimingArc] = []
+    input_caps: Dict[str, Dict[str, float]] = {}
+    orders_meta: Dict[str, List[int]] = {}
+    blind = vector_mode == "default"
+    for name in cell_names:
+        cell = library[name]
+        input_caps[name] = {
+            pin: input_capacitance(cell, pin, tech) for pin in cell.inputs
+        }
+        sweeps = characterize_cell(
+            cell, tech, grid, vector_mode=vector_mode,
+            steps_per_window=steps_per_window,
+        )
+        for (pin, vector_id, input_rising), samples in sweeps.items():
+            delay_model, slew_model, orders = _fit_models(
+                samples, model, grid, tech, target_rel_error, fixed_orders
+            )
+            out_rising = samples[0]["out_rising"]
+            arc = TimingArc(
+                cell=name,
+                pin=pin,
+                vector_id=BLIND if blind else vector_id,
+                input_rising=input_rising,
+                output_rising=out_rising,
+                delay_model=delay_model,
+                slew_model=slew_model,
+            )
+            arcs.append(arc)
+            if orders is not None:
+                orders_meta[arc.key] = list(orders)
+
+    result = CharacterizedLibrary(
+        tech_name=tech.name,
+        library_name=library.name,
+        model_kind=model,
+        input_caps=input_caps,
+        arcs=arcs,
+        metadata={
+            "grid": grid.describe(),
+            "vector_mode": vector_mode,
+            "orders": orders_meta,
+            "cache_key": digest,
+        },
+    )
+    if use_cache:
+        result.save(cache_path)
+    return result

@@ -1,0 +1,76 @@
+"""Equivalent fanout computation inside a circuit.
+
+The paper defines the equivalent fanout of a gate G as the ratio of the
+capacitance seen at G's output (all connected gate inputs) to G's own
+input capacitance -- "the number of gates of the same type as G that
+should be connected to G's output to obtain Cout".  We use the mean of
+G's per-pin input capacitances as the denominator and the sum of the
+actual sink-pin capacitances (plus an optional primary-output load) as
+the numerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.charlib.store import CharacterizedLibrary
+from repro.netlist.circuit import Circuit, Instance
+
+
+@dataclass(frozen=True)
+class WireLoadModel:
+    """Fanout-based wire capacitance estimate (pre-layout style).
+
+    ``load = c_fixed + c_per_fanout * n_sinks`` is added to the pin
+    capacitance sum of every net.  The default model is zero (pin caps
+    only), matching the paper's equivalent-fanout definition; pass a
+    model to both the STA and the golden path simulation to study wire
+    effects consistently.
+    """
+
+    c_fixed: float = 0.0
+    c_per_fanout: float = 0.5e-15
+
+    def net_capacitance(self, n_sinks: int) -> float:
+        return self.c_fixed + self.c_per_fanout * n_sinks
+
+
+def primary_output_load(charlib: CharacterizedLibrary, fanout: float = 2.0) -> float:
+    """Default load on primary outputs: ``fanout`` inverter inputs."""
+    if "INV" in charlib.input_caps:
+        return fanout * charlib.pin_cap("INV", "A")
+    any_cell = charlib.cells()[0]
+    return fanout * charlib.mean_cap(any_cell)
+
+
+def output_load(
+    circuit: Circuit,
+    inst: Instance,
+    charlib: CharacterizedLibrary,
+    po_load: Optional[float] = None,
+    wire: Optional[WireLoadModel] = None,
+) -> float:
+    """Capacitance (F) at the instance's output net."""
+    net = circuit.nets[inst.output_net]
+    load = 0.0
+    for sink, pin in net.sinks:
+        load += charlib.pin_cap(sink.cell.name, pin)
+    if wire is not None:
+        load += wire.net_capacitance(len(net.sinks))
+    if net.is_output:
+        load += primary_output_load(charlib) if po_load is None else po_load
+    return load
+
+
+def equivalent_fanout(
+    circuit: Circuit,
+    inst: Instance,
+    charlib: CharacterizedLibrary,
+    po_load: Optional[float] = None,
+    wire: Optional[WireLoadModel] = None,
+) -> float:
+    """The paper's Fo for one placed instance."""
+    return output_load(circuit, inst, charlib, po_load, wire) / charlib.mean_cap(
+        inst.cell.name
+    )

@@ -1,0 +1,125 @@
+"""NLDM-style two-dimensional lookup-table model.
+
+This is the commercial baseline's delay model: a (input slew x output
+load) table per timing arc, evaluated with bilinear interpolation and
+clamped extrapolation at the table edges, plus linear temperature and
+supply derating factors.  Unlike the polynomial model it is
+characterized for a *single* sensitization vector per pin, which is
+exactly the inaccuracy the paper quantifies in Tables 7-9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class LutModel:
+    """Bilinear-interpolated table ``value(t_in, fo)`` with derating."""
+
+    def __init__(
+        self,
+        t_in_axis: Sequence[float],
+        fo_axis: Sequence[float],
+        table: np.ndarray,
+        ref_temp: float = 25.0,
+        ref_vdd: float = 1.0,
+        k_temp: float = 0.0,
+        k_vdd: float = 0.0,
+    ):
+        self.t_in_axis = np.asarray(t_in_axis, dtype=float)
+        self.fo_axis = np.asarray(fo_axis, dtype=float)
+        self.table = np.asarray(table, dtype=float)
+        if self.table.shape != (len(self.t_in_axis), len(self.fo_axis)):
+            raise ValueError("table shape does not match axes")
+        if np.any(np.diff(self.t_in_axis) <= 0) or np.any(np.diff(self.fo_axis) <= 0):
+            raise ValueError("axes must be strictly increasing")
+        self.ref_temp = ref_temp
+        self.ref_vdd = ref_vdd
+        #: Relative derating per Kelvin / per Volt (commercial k-factors).
+        self.k_temp = k_temp
+        self.k_vdd = k_vdd
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bracket(axis: np.ndarray, x: float):
+        """Clamped segment index and interpolation weight."""
+        idx = int(np.searchsorted(axis, x) - 1)
+        idx = min(max(idx, 0), len(axis) - 2)
+        x0, x1 = axis[idx], axis[idx + 1]
+        w = (x - x0) / (x1 - x0)
+        w = min(max(w, 0.0), 1.0)  # clamp: no extrapolation beyond corners
+        return idx, w
+
+    def evaluate(self, fo: float, t_in: float, temp: float, vdd: float) -> float:
+        i, wi = self._bracket(self.t_in_axis, t_in)
+        j, wj = self._bracket(self.fo_axis, fo)
+        t = self.table
+        base = (
+            t[i, j] * (1 - wi) * (1 - wj)
+            + t[i + 1, j] * wi * (1 - wj)
+            + t[i, j + 1] * (1 - wi) * wj
+            + t[i + 1, j + 1] * wi * wj
+        )
+        derate = 1.0 + self.k_temp * (temp - self.ref_temp) + self.k_vdd * (
+            vdd - self.ref_vdd
+        )
+        return float(base * derate)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "lut",
+            "t_in_axis": self.t_in_axis.tolist(),
+            "fo_axis": self.fo_axis.tolist(),
+            "table": self.table.tolist(),
+            "ref_temp": self.ref_temp,
+            "ref_vdd": self.ref_vdd,
+            "k_temp": self.k_temp,
+            "k_vdd": self.k_vdd,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LutModel":
+        return cls(
+            data["t_in_axis"],
+            data["fo_axis"],
+            np.asarray(data["table"], dtype=float),
+            ref_temp=data["ref_temp"],
+            ref_vdd=data["ref_vdd"],
+            k_temp=data["k_temp"],
+            k_vdd=data["k_vdd"],
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: List[Dict],
+        t_in_axis: Sequence[float],
+        fo_axis: Sequence[float],
+        value_key: str,
+        ref_temp: float,
+        ref_vdd: float,
+    ) -> "LutModel":
+        """Assemble a table from nominal-corner characterization samples.
+
+        Samples must cover the full (t_in x fo) factorial at the
+        reference temperature and supply.
+        """
+        table = np.full((len(t_in_axis), len(fo_axis)), np.nan)
+        for s in samples:
+            if abs(s["temp"] - ref_temp) > 1e-9 or abs(s["vdd"] - ref_vdd) > 1e-12:
+                continue
+            try:
+                i = list(t_in_axis).index(s["t_in"])
+                j = list(fo_axis).index(s["fo"])
+            except ValueError:
+                continue
+            table[i, j] = s[value_key]
+        if np.any(np.isnan(table)):
+            raise ValueError("incomplete factorial for LUT construction")
+        return cls(t_in_axis, fo_axis, table, ref_temp=ref_temp, ref_vdd=ref_vdd)
+
+    def __repr__(self) -> str:
+        return f"LutModel({len(self.t_in_axis)}x{len(self.fo_axis)})"

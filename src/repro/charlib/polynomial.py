@@ -1,0 +1,147 @@
+"""The analytical polynomial delay model (paper equation (3)).
+
+.. math::
+
+    f(Fo, t_{in}, T, V_{DD}) =
+        \\sum_{i=0}^{m}\\sum_{j=0}^{n}\\sum_{k=0}^{o}\\sum_{l=0}^{p}
+        P_{ijkl} \\; Fo^i \\; t_{in}^j \\; T^k \\; V_{DD}^l
+
+Variables are affinely normalized before fitting (``t_in`` is ~1e-11 s;
+raw powers would make the normal equations hopelessly ill-conditioned).
+The normalization is an internal representation detail: evaluation takes
+physical units and the model still is a polynomial of exactly the
+declared orders in the physical variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+#: Variable order in every sample tuple: (Fo, t_in, T, VDD).
+VARIABLES = ("fo", "t_in", "temp", "vdd")
+
+
+@dataclass(frozen=True)
+class Normalization:
+    """Affine map ``x -> (x - center) / scale`` per variable."""
+
+    centers: Tuple[float, float, float, float]
+    scales: Tuple[float, float, float, float]
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Normalization":
+        centers = points.mean(axis=0)
+        spans = points.max(axis=0) - points.min(axis=0)
+        scales = np.where(spans > 0, spans / 2.0, np.maximum(np.abs(centers), 1.0))
+        return cls(tuple(float(c) for c in centers), tuple(float(s) for s in scales))
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        return (points - np.asarray(self.centers)) / np.asarray(self.scales)
+
+
+class PolynomialModel:
+    """A fitted polynomial ``f(Fo, t_in, T, VDD)`` returning seconds."""
+
+    def __init__(
+        self,
+        orders: Tuple[int, int, int, int],
+        coeffs: np.ndarray,
+        norm: Normalization,
+    ):
+        expected = tuple(o + 1 for o in orders)
+        if coeffs.shape != expected:
+            raise ValueError(f"coeff shape {coeffs.shape} != orders+1 {expected}")
+        self.orders = tuple(orders)
+        self.coeffs = np.asarray(coeffs, dtype=float)
+        self.norm = norm
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def design_matrix(points: np.ndarray, orders: Sequence[int]) -> np.ndarray:
+        """Rows of monomials ``x0^i * x1^j * x2^k * x3^l`` for each point."""
+        n_pts = points.shape[0]
+        powers = []
+        for v, order in enumerate(orders):
+            col = points[:, v]
+            powers.append(np.vander(col, order + 1, increasing=True))
+        cols = []
+        for i in range(orders[0] + 1):
+            for j in range(orders[1] + 1):
+                for k in range(orders[2] + 1):
+                    for l in range(orders[3] + 1):
+                        cols.append(
+                            powers[0][:, i]
+                            * powers[1][:, j]
+                            * powers[2][:, k]
+                            * powers[3][:, l]
+                        )
+        return np.column_stack(cols) if cols else np.ones((n_pts, 1))
+
+    @classmethod
+    def fit(
+        cls,
+        points: np.ndarray,
+        values: np.ndarray,
+        orders: Tuple[int, int, int, int],
+        norm: Normalization = None,
+    ) -> "PolynomialModel":
+        """Least-squares fit on (n_pts, 4) sample points."""
+        points = np.asarray(points, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if norm is None:
+            norm = Normalization.from_points(points)
+        design = cls.design_matrix(norm.apply(points), orders)
+        solution, *_ = np.linalg.lstsq(design, values, rcond=None)
+        shape = tuple(o + 1 for o in orders)
+        return cls(orders, solution.reshape(shape), norm)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, fo: float, t_in: float, temp: float, vdd: float) -> float:
+        point = np.array([[fo, t_in, temp, vdd]], dtype=float)
+        x = self.norm.apply(point)[0]
+        acc = 0.0
+        # Horner-free direct accumulation; arrays are tiny.
+        pow0 = [x[0] ** i for i in range(self.orders[0] + 1)]
+        pow1 = [x[1] ** j for j in range(self.orders[1] + 1)]
+        pow2 = [x[2] ** k for k in range(self.orders[2] + 1)]
+        pow3 = [x[3] ** l for l in range(self.orders[3] + 1)]
+        c = self.coeffs
+        for i, p0 in enumerate(pow0):
+            for j, p1 in enumerate(pow1):
+                for k, p2 in enumerate(pow2):
+                    for l, p3 in enumerate(pow3):
+                        acc += c[i, j, k, l] * p0 * p1 * p2 * p3
+        return float(acc)
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        design = self.design_matrix(self.norm.apply(np.asarray(points, float)),
+                                    self.orders)
+        return design @ self.coeffs.reshape(-1)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return int(np.prod([o + 1 for o in self.orders]))
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "polynomial",
+            "orders": list(self.orders),
+            "coeffs": self.coeffs.reshape(-1).tolist(),
+            "centers": list(self.norm.centers),
+            "scales": list(self.norm.scales),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PolynomialModel":
+        orders = tuple(data["orders"])
+        shape = tuple(o + 1 for o in orders)
+        coeffs = np.asarray(data["coeffs"], dtype=float).reshape(shape)
+        norm = Normalization(tuple(data["centers"]), tuple(data["scales"]))
+        return cls(orders, coeffs, norm)
+
+    def __repr__(self) -> str:
+        return f"PolynomialModel(orders={self.orders}, params={self.num_parameters})"

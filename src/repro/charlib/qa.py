@@ -1,0 +1,132 @@
+"""Characterized-library quality assurance.
+
+Spot-checks a characterized library against fresh electrical
+simulations at randomly drawn off-grid points -- the regression test a
+production characterization flow runs before releasing a library.
+Reports per-arc worst relative error for delay and slew, and flags
+arcs exceeding a tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.charlib.store import BLIND, CharacterizedLibrary
+from repro.gates.library import Library, default_library
+from repro.spice.cellsim import CellSimulator
+from repro.tech.technology import Technology
+
+
+@dataclass
+class ArcCheck:
+    """Validation result for one arc at one probe point."""
+
+    arc_key: str
+    fo: float
+    t_in: float
+    model_delay: float
+    golden_delay: float
+    model_slew: float
+    golden_slew: float
+
+    @property
+    def delay_error(self) -> float:
+        return abs(self.model_delay - self.golden_delay) / self.golden_delay
+
+    @property
+    def slew_error(self) -> float:
+        return abs(self.model_slew - self.golden_slew) / self.golden_slew
+
+
+@dataclass
+class QaReport:
+    checks: List[ArcCheck] = field(default_factory=list)
+    tolerance: float = 0.08
+
+    @property
+    def worst_delay_error(self) -> float:
+        return max((c.delay_error for c in self.checks), default=0.0)
+
+    @property
+    def mean_delay_error(self) -> float:
+        if not self.checks:
+            return 0.0
+        return sum(c.delay_error for c in self.checks) / len(self.checks)
+
+    def failures(self) -> List[ArcCheck]:
+        return [c for c in self.checks if c.delay_error > self.tolerance]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures()
+
+    def describe(self) -> str:
+        lines = [
+            f"library QA: {len(self.checks)} probes, mean delay error "
+            f"{self.mean_delay_error * 100:.2f}%, worst "
+            f"{self.worst_delay_error * 100:.2f}% "
+            f"({'PASS' if self.passed else 'FAIL'} at "
+            f"{self.tolerance * 100:.0f}%)"
+        ]
+        for c in self.failures():
+            lines.append(
+                f"  FAIL {c.arc_key} @ fo={c.fo:.2f} t_in={c.t_in * 1e12:.0f}ps: "
+                f"model {c.model_delay * 1e12:.2f}ps vs golden "
+                f"{c.golden_delay * 1e12:.2f}ps"
+            )
+        return "\n".join(lines)
+
+
+def validate_library(
+    charlib: CharacterizedLibrary,
+    tech: Technology,
+    library: Optional[Library] = None,
+    arcs_to_check: int = 6,
+    probes_per_arc: int = 2,
+    fo_range: Tuple[float, float] = (0.7, 6.0),
+    t_in_range: Tuple[float, float] = (1.5e-11, 2.5e-10),
+    tolerance: float = 0.08,
+    steps_per_window: int = 300,
+    seed: int = 0,
+) -> QaReport:
+    """Probe random arcs at random off-grid points against fresh
+    transistor-level simulations."""
+    library = library or default_library()
+    rng = random.Random(seed)
+    candidates = [a for a in charlib.arcs() if a.vector_id != BLIND
+                  and a.cell in library]
+    if not candidates:
+        raise ValueError("library has no vector-resolved arcs to validate")
+    chosen = rng.sample(candidates, min(arcs_to_check, len(candidates)))
+
+    report = QaReport(tolerance=tolerance)
+    simulators: Dict[str, CellSimulator] = {}
+    for arc in chosen:
+        cell = library[arc.cell]
+        sim = simulators.get(arc.cell)
+        if sim is None:
+            sim = CellSimulator(cell, tech, steps_per_window=steps_per_window)
+            simulators[arc.cell] = sim
+        vector = cell.vector_by_id(arc.vector_id)
+        mean_cap = charlib.mean_cap(arc.cell)
+        for _ in range(probes_per_arc):
+            fo = rng.uniform(*fo_range)
+            t_in = rng.uniform(*t_in_range)
+            golden = sim.propagation(
+                arc.pin, vector, arc.input_rising, t_in=t_in,
+                c_load=fo * mean_cap,
+            )
+            report.checks.append(
+                ArcCheck(
+                    arc_key=arc.key,
+                    fo=fo,
+                    t_in=t_in,
+                    model_delay=arc.delay(fo, t_in, 25.0, tech.vdd),
+                    golden_delay=golden.delay,
+                    model_slew=arc.slew(fo, t_in, 25.0, tech.vdd),
+                    golden_slew=golden.out_slew,
+                )
+            )
+    return report

@@ -1,0 +1,189 @@
+"""Characterized-library container with JSON persistence.
+
+A :class:`CharacterizedLibrary` holds one :class:`TimingArc` per
+*(cell, pin, sensitization vector, input edge)* -- the vector-resolved
+arcs the paper's tool uses -- or, for the commercial baseline, one
+vector-blind arc per *(cell, pin, input edge, output edge)* keyed with
+vector id ``"*"``.  Each arc carries a delay model and an output-slew
+model (the slew is needed to propagate ``t_in`` down a path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.charlib.lut import LutModel
+from repro.charlib.polynomial import PolynomialModel
+
+Model = Union[PolynomialModel, LutModel]
+
+#: Vector id of vector-blind (baseline) arcs.
+BLIND = "*"
+
+
+def _model_from_dict(data: Dict) -> Model:
+    if data["kind"] == "polynomial":
+        return PolynomialModel.from_dict(data)
+    if data["kind"] == "lut":
+        return LutModel.from_dict(data)
+    raise ValueError(f"unknown model kind {data['kind']!r}")
+
+
+@dataclass
+class TimingArc:
+    """One characterized propagation arc of a cell."""
+
+    cell: str
+    pin: str
+    vector_id: str
+    input_rising: bool
+    output_rising: bool
+    delay_model: Model
+    slew_model: Model
+
+    def delay(self, fo: float, t_in: float, temp: float, vdd: float) -> float:
+        return self.delay_model.evaluate(fo, t_in, temp, vdd)
+
+    def slew(self, fo: float, t_in: float, temp: float, vdd: float) -> float:
+        return self.slew_model.evaluate(fo, t_in, temp, vdd)
+
+    @property
+    def key(self) -> str:
+        return arc_key(self.cell, self.pin, self.vector_id, self.input_rising,
+                       self.output_rising)
+
+    def to_dict(self) -> Dict:
+        return {
+            "cell": self.cell,
+            "pin": self.pin,
+            "vector_id": self.vector_id,
+            "input_rising": self.input_rising,
+            "output_rising": self.output_rising,
+            "delay_model": self.delay_model.to_dict(),
+            "slew_model": self.slew_model.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TimingArc":
+        return cls(
+            cell=data["cell"],
+            pin=data["pin"],
+            vector_id=data["vector_id"],
+            input_rising=data["input_rising"],
+            output_rising=data["output_rising"],
+            delay_model=_model_from_dict(data["delay_model"]),
+            slew_model=_model_from_dict(data["slew_model"]),
+        )
+
+
+def arc_key(cell: str, pin: str, vector_id: str, input_rising: bool,
+            output_rising: bool) -> str:
+    return "|".join(
+        (cell, pin, vector_id, "r" if input_rising else "f",
+         "R" if output_rising else "F")
+    )
+
+
+class CharacterizedLibrary:
+    """All timing arcs and pin capacitances of a library under one
+    technology."""
+
+    def __init__(
+        self,
+        tech_name: str,
+        library_name: str,
+        model_kind: str,
+        input_caps: Dict[str, Dict[str, float]],
+        arcs: List[TimingArc],
+        metadata: Optional[Dict] = None,
+    ):
+        self.tech_name = tech_name
+        self.library_name = library_name
+        self.model_kind = model_kind
+        self.input_caps = input_caps
+        self.metadata = metadata or {}
+        self._arcs: Dict[str, TimingArc] = {}
+        for arc in arcs:
+            self._arcs[arc.key] = arc
+
+    # ------------------------------------------------------------------
+    def arc(self, cell: str, pin: str, vector_id: str, input_rising: bool,
+            output_rising: bool) -> TimingArc:
+        key = arc_key(cell, pin, vector_id, input_rising, output_rising)
+        try:
+            return self._arcs[key]
+        except KeyError:
+            raise KeyError(f"no timing arc {key}") from None
+
+    def blind_arc(self, cell: str, pin: str, input_rising: bool,
+                  output_rising: bool) -> TimingArc:
+        """Vector-blind lookup used by the commercial baseline."""
+        return self.arc(cell, pin, BLIND, input_rising, output_rising)
+
+    def arcs(self) -> List[TimingArc]:
+        return list(self._arcs.values())
+
+    def pin_cap(self, cell: str, pin: str) -> float:
+        return self.input_caps[cell][pin]
+
+    def mean_cap(self, cell: str) -> float:
+        caps = self.input_caps[cell]
+        return sum(caps.values()) / len(caps)
+
+    def cells(self) -> List[str]:
+        return sorted(self.input_caps)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "tech_name": self.tech_name,
+            "library_name": self.library_name,
+            "model_kind": self.model_kind,
+            "input_caps": self.input_caps,
+            "metadata": self.metadata,
+            "arcs": [arc.to_dict() for arc in self._arcs.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CharacterizedLibrary":
+        return cls(
+            tech_name=data["tech_name"],
+            library_name=data["library_name"],
+            model_kind=data["model_kind"],
+            input_caps=data["input_caps"],
+            arcs=[TimingArc.from_dict(a) for a in data["arcs"]],
+            metadata=data.get("metadata", {}),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomic write (temp file + rename) so concurrent processes
+        sharing the characterization cache never read a partial file."""
+        target = Path(path)
+        temporary = target.with_suffix(f".tmp{os.getpid()}")
+        temporary.write_text(json.dumps(self.to_dict()))
+        temporary.replace(target)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CharacterizedLibrary":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacterizedLibrary({self.library_name}@{self.tech_name}, "
+            f"{self.model_kind}, {len(self._arcs)} arcs)"
+        )
+
+
+def cache_dir() -> Path:
+    """On-disk cache location (characterization is minutes of CPU)."""
+    root = os.environ.get("REPRO_CHAR_CACHE")
+    if root:
+        path = Path(root)
+    else:
+        path = Path.home() / ".cache" / "repro-charlib"
+    path.mkdir(parents=True, exist_ok=True)
+    return path

@@ -1,0 +1,115 @@
+"""Command-line STA driver.
+
+Analyze a netlist file with either tool::
+
+    python -m repro.cli analyze circuit.bench --tech 90nm --top 10
+    python -m repro.cli analyze design.v --tool baseline --required 500
+    python -m repro.cli stats circuit.bench
+
+``.bench`` files are parsed as ISCAS benchmarks (and technology-mapped
+onto the complex-gate library unless ``--no-map``); ``.v`` files as
+structural Verilog using library cell names directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.core.report import format_slack_report, paths_to_json, slack_report
+from repro.gates.library import default_library
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.techmap import techmap
+from repro.netlist.verilog import parse_verilog
+from repro.tech.presets import TECHNOLOGIES
+
+
+def load_circuit(path: str, map_to_complex: bool = True) -> Circuit:
+    """Load a ``.bench`` or ``.v`` netlist."""
+    file_path = Path(path)
+    text = file_path.read_text()
+    if file_path.suffix == ".v":
+        return parse_verilog(text)
+    circuit = parse_bench(text, name=file_path.stem)
+    return techmap(circuit) if map_to_complex else circuit
+
+
+def _analyze(args) -> int:
+    circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
+    tech = TECHNOLOGIES[args.tech]
+    library = default_library()
+    if args.tool == "developed":
+        charlib = characterize_library(library, tech, grid=FAST_GRID)
+        from repro.core.sta import TruePathSTA
+
+        sta = TruePathSTA(circuit, charlib)
+        paths = sta.enumerate_paths(max_paths=args.max_paths)
+        print(sta.report(paths, limit=args.top))
+    else:
+        charlib = characterize_library(
+            library, tech, grid=FAST_GRID, model="lut", vector_mode="default"
+        )
+        from repro.baseline.sta2step import TwoStepSTA
+
+        tool = TwoStepSTA(circuit, charlib,
+                          backtrack_limit=args.backtrack_limit)
+        report = tool.run(max_structural_paths=args.max_paths or 1000)
+        paths = tool.true_paths(report)
+        print(f"two-step baseline: {report.as_row()}")
+        for k, p in enumerate(
+            sorted(paths, key=lambda q: -q.worst_arrival)[: args.top], 1
+        ):
+            print(f"{k:3d}. {p.worst_arrival * 1e12:8.1f} ps  {p.describe()}")
+    if args.required is not None:
+        entries = slack_report(paths, args.required * 1e-12)
+        print()
+        print(format_slack_report(entries[: args.top]))
+    if args.json:
+        Path(args.json).write_text(paths_to_json(paths, indent=2))
+        print(f"\nwrote {len(paths)} paths to {args.json}")
+    return 0
+
+
+def _stats(args) -> int:
+    circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
+    for key, value in circuit.stats().items():
+        print(f"{key:>14s}: {value}")
+    print(f"{'cells':>14s}: {circuit.cell_histogram()}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run STA on a netlist")
+    analyze.add_argument("netlist")
+    analyze.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
+    analyze.add_argument("--tool", default="developed",
+                         choices=["developed", "baseline"])
+    analyze.add_argument("--top", type=int, default=10)
+    analyze.add_argument("--max-paths", type=int, default=20000)
+    analyze.add_argument("--backtrack-limit", type=int, default=1000)
+    analyze.add_argument("--required", type=float, default=None,
+                         help="required time in ps for a slack report")
+    analyze.add_argument("--json", default=None,
+                         help="dump the path list to this JSON file")
+    analyze.add_argument("--no-map", action="store_true",
+                         help="skip technology mapping of .bench input")
+    analyze.set_defaults(func=_analyze)
+
+    stats = sub.add_parser("stats", help="print netlist statistics")
+    stats.add_argument("netlist")
+    stats.add_argument("--no-map", action="store_true")
+    stats.set_defaults(func=_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Indexed circuit state for the path-finding search.
+
+:class:`EngineCircuit` pre-indexes a :class:`~repro.netlist.circuit.Circuit`
+(net ids, gate fan-in/fan-out tables, per-pin sensitization vectors with
+side nets resolved) so the search never touches dictionaries keyed by
+strings.
+
+:class:`EngineState` holds the paper's dual-value node assignment: one
+nine-valued entry per net **per polarity component** (component 0 traces
+the rising-input case, component 1 the falling-input case -- "the
+algorithm computes simultaneously both transitions through a given path
+in the same step").  All mutations go through an undo trail so the
+search can checkpoint and roll back in O(changes); a merge conflict
+kills only the offending component, and the search continues as long as
+one component is alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.logic_values import CellEvaluator, MERGE_TABLE, Value9
+from repro.gates.cell import Cell, SensitizationVector
+from repro.netlist.circuit import Circuit, Instance
+
+RISING = 0
+FALLING = 1
+COMPONENTS = (RISING, FALLING)
+
+
+@dataclass(frozen=True)
+class VectorOption:
+    """A sensitization vector resolved against a placed gate."""
+
+    vector: SensitizationVector
+    #: (net_id, steady bit) for every side input.
+    side_assignments: Tuple[Tuple[int, int], ...]
+    inverting: bool
+
+
+@dataclass
+class EngineGate:
+    """Pre-indexed instance."""
+
+    index: int
+    inst: Instance
+    cell: Cell
+    evaluator: CellEvaluator
+    input_nets: Tuple[int, ...]  # cell pin order
+    output_net: int
+    #: pin name -> vector options
+    options: Dict[str, List[VectorOption]]
+
+
+class EngineCircuit:
+    """Static indexed view of a circuit (shared between searches)."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.net_names: List[str] = list(circuit.nets)
+        self.net_id: Dict[str, int] = {n: i for i, n in enumerate(self.net_names)}
+        n_nets = len(self.net_names)
+        self.is_input = [False] * n_nets
+        self.is_output = [False] * n_nets
+        for name in circuit.inputs:
+            self.is_input[self.net_id[name]] = True
+        for name in circuit.outputs:
+            self.is_output[self.net_id[name]] = True
+
+        evaluators: Dict[str, CellEvaluator] = {}
+        self.gates: List[EngineGate] = []
+        self.driver: List[int] = [-1] * n_nets  # gate index or -1
+        #: net id -> list of (gate index, pin name)
+        self.sinks: List[List[Tuple[int, str]]] = [[] for _ in range(n_nets)]
+
+        for inst in circuit.topological():
+            cell = inst.cell
+            if cell.name not in evaluators:
+                evaluators[cell.name] = CellEvaluator(cell)
+            gate_index = len(self.gates)
+            input_nets = tuple(self.net_id[inst.pins[p]] for p in cell.inputs)
+            output_net = self.net_id[inst.output_net]
+            options: Dict[str, List[VectorOption]] = {}
+            for pin in cell.inputs:
+                opts = []
+                for vec in cell.sensitization_vectors(pin):
+                    side = tuple(
+                        (self.net_id[inst.pins[side_pin]], bit)
+                        for side_pin, bit in sorted(vec.side_values.items())
+                    )
+                    opts.append(VectorOption(vec, side, vec.inverting))
+                options[pin] = opts
+            gate = EngineGate(
+                gate_index, inst, cell, evaluators[cell.name], input_nets,
+                output_net, options,
+            )
+            self.gates.append(gate)
+            self.driver[output_net] = gate_index
+            for pin in cell.inputs:
+                self.sinks[self.net_id[inst.pins[pin]]].append((gate_index, pin))
+
+        self.input_ids = [self.net_id[n] for n in circuit.inputs]
+        self.output_ids = [self.net_id[n] for n in circuit.outputs]
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_names)
+
+
+# Trail entry tags.
+_T_VALUE = 0
+_T_ALIVE = 1
+_T_OBLIGATION = 2
+
+
+class EngineState:
+    """Mutable dual-component assignment with checkpoint/rollback."""
+
+    def __init__(self, ec: EngineCircuit):
+        self.ec = ec
+        n = ec.num_nets
+        self.values: List[List[int]] = [
+            [Value9.XX] * n for _ in COMPONENTS
+        ]
+        self.alive: List[bool] = [True, True]
+        self._trail: List[Tuple] = []
+        self._queue: List[int] = []
+        #: Nets carrying a required value that may need backward
+        #: justification: list of (net_id, packed 9-value).  Paper-mode
+        #: requirements are steady (S0/S1); complete-mode dynamic
+        #: justification can also require transitions on internal nets.
+        self.obligations: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        return len(self._trail)
+
+    def rollback(self, mark: int) -> None:
+        trail = self._trail
+        while len(trail) > mark:
+            tag, a, b, c = trail.pop()
+            if tag == _T_VALUE:
+                self.values[a][b] = c
+            elif tag == _T_ALIVE:
+                self.alive[a] = True
+            else:  # _T_OBLIGATION
+                self.obligations.pop()
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+    # Assignment and implication
+    # ------------------------------------------------------------------
+    def kill(self, comp: int) -> bool:
+        """Kill one polarity component; returns False when none is left."""
+        if self.alive[comp]:
+            self.alive[comp] = False
+            self._trail.append((_T_ALIVE, comp, 0, 0))
+        return self.alive[1 - comp]
+
+    def assign(self, net: int, value: int, comp: int) -> bool:
+        """Merge ``value`` into one component of a net.
+
+        Returns False when the whole state is dead (both components
+        killed).  Enqueues the net for implication when it gained
+        information.
+        """
+        if not self.alive[comp]:
+            return self.alive[1 - comp]
+        current = self.values[comp][net]
+        merged = MERGE_TABLE[current * 9 + value]
+        if merged < 0:
+            return self.kill(comp)
+        if merged != current:
+            self._trail.append((_T_VALUE, comp, net, current))
+            self.values[comp][net] = merged
+            self._queue.append(net)
+        return True
+
+    def assign_both(self, net: int, value: int) -> bool:
+        self.assign(net, value, RISING)
+        self.assign(net, value, FALLING)
+        return any(self.alive)
+
+    def require_steady(self, net: int, bit: int) -> bool:
+        """Assign a required steady side value and record the obligation."""
+        return self.require_value(net, Value9.steady(bit))
+
+    def require_value(self, net: int, value: int) -> bool:
+        """Assign a required 9-value to every live component and record
+        the justification obligation (transition requirements only make
+        sense in single-polarity states; steady ones work everywhere)."""
+        if not self.assign(net, value, RISING):
+            return False
+        if not self.assign(net, value, FALLING):
+            return False
+        if self.ec.driver[net] >= 0:
+            self.obligations.append((net, value))
+            self._trail.append((_T_OBLIGATION, 0, 0, 0))
+        return True
+
+    def implied_value(self, gate: EngineGate, comp: int) -> int:
+        vals = self.values[comp]
+        return gate.evaluator.evaluate(
+            tuple(vals[n] for n in gate.input_nets)
+        )
+
+    def propagate(self) -> bool:
+        """Event-driven forward implication until fixpoint.
+
+        Every value gain re-evaluates the sink gates ("each time a logic
+        value is assigned to a node, such value is propagated through
+        all the gates having such node as an input"), which is what
+        surfaces semi-undetermined conflicts early.
+        """
+        queue = self._queue
+        values = self.values
+        values0, values1 = values
+        alive = self.alive
+        all_sinks = self.ec.sinks
+        gates = self.ec.gates
+        while queue:
+            net = queue.pop()
+            for gate_index, _pin in all_sinks[net]:
+                gate = gates[gate_index]
+                if alive[0] and alive[1]:
+                    # Dual fast path: away from the transition cone both
+                    # components carry identical values, so one gate
+                    # evaluation serves both.
+                    nets = gate.input_nets
+                    ins0 = tuple(values0[n] for n in nets)
+                    ins1 = tuple(values1[n] for n in nets)
+                    implied0 = gate.evaluator.evaluate(ins0)
+                    implied1 = (
+                        implied0 if ins0 == ins1
+                        else gate.evaluator.evaluate(ins1)
+                    )
+                    if implied0 != Value9.XX and not self.assign(
+                        gate.output_net, implied0, 0
+                    ):
+                        queue.clear()
+                        return False
+                    if implied1 != Value9.XX and not self.assign(
+                        gate.output_net, implied1, 1
+                    ):
+                        queue.clear()
+                        return False
+                    continue
+                for comp in COMPONENTS:
+                    if not self.alive[comp]:
+                        continue
+                    implied = self.implied_value(gate, comp)
+                    if implied == Value9.XX:
+                        continue
+                    if not self.assign(gate.output_net, implied, comp):
+                        queue.clear()
+                        return False
+        return any(self.alive)
+
+    # ------------------------------------------------------------------
+    # Justification support
+    # ------------------------------------------------------------------
+    def is_justified(self, net: int, required: int) -> bool:
+        """Whether the net's required 9-value is already implied by its
+        driver's inputs in every live component."""
+        gate_index = self.ec.driver[net]
+        if gate_index < 0:
+            return True  # primary inputs are justified by definition
+        gate = self.ec.gates[gate_index]
+        for comp in COMPONENTS:
+            if not self.alive[comp]:
+                continue
+            if self.implied_value(gate, comp) != required:
+                return False
+        return True
+
+    def first_unjustified(self, start: int = 0) -> Optional[Tuple[int, int, int]]:
+        """First unjustified obligation at or after index ``start``.
+
+        Justification is monotone along any trail extension (implied
+        values only gain information, and rollback restores a state in
+        which the prefix was already verified), so callers may resume
+        the scan from the last verified index instead of 0.
+
+        Returns ``(index, net, required)`` or None.
+        """
+        obligations = self.obligations
+        for index in range(start, len(obligations)):
+            net, required = obligations[index]
+            if not self.is_justified(net, required):
+                return (index, net, required)
+        return None
+
+    # ------------------------------------------------------------------
+    def input_vector(self, comp: int) -> Dict[str, Optional[object]]:
+        """The primary-input assignment of one component.
+
+        Steady nets report their bit, the transition source reports
+        ``"T"``, unconstrained inputs report None (don't-care).
+        """
+        out: Dict[str, Optional[object]] = {}
+        for net in self.ec.input_ids:
+            value = self.values[comp][net]
+            if value in (Value9.S0, Value9.X0, Value9.ZX):
+                out[self.ec.net_names[net]] = 0 if value == Value9.S0 else None
+            elif value in (Value9.S1, Value9.X1, Value9.OX):
+                out[self.ec.net_names[net]] = 1 if value == Value9.S1 else None
+            elif value in (Value9.RISE, Value9.FALL):
+                out[self.ec.net_names[net]] = "T"
+            else:
+                out[self.ec.net_names[net]] = None
+        return out

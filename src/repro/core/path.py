@@ -1,0 +1,97 @@
+"""Path records produced by the true-path search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One gate traversal of a path."""
+
+    gate_name: str
+    cell_name: str
+    pin: str
+    vector_id: str
+    case: int
+    fo: float
+
+
+@dataclass
+class PolarityTiming:
+    """Timing of one transition polarity at the path origin.
+
+    The dual-value engine traces both polarities in one pass; each
+    surviving polarity yields one of these.
+    """
+
+    input_rising: bool
+    output_rising: bool
+    arrival: float
+    slew: float
+    gate_delays: List[float]
+    gate_slews: List[float]
+    #: Primary-input assignment justifying the sensitization (values
+    #: 0/1, "T" for the transition source, None for don't-care).
+    input_vector: Dict[str, Optional[object]]
+
+
+@dataclass
+class TimedPath:
+    """A sensitized (true) path under one sensitization-vector combo."""
+
+    circuit_name: str
+    #: Net names from the origin primary input through each gate output.
+    nets: Tuple[str, ...]
+    steps: Tuple[PathStep, ...]
+    rise: Optional[PolarityTiming] = None
+    fall: Optional[PolarityTiming] = None
+    #: Whether any traversed pin offers more than one sensitization
+    #: vector (set by the pathfinder; these are the paths of interest
+    #: in the paper's evaluation).
+    multi_vector: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def course(self) -> Tuple[str, ...]:
+        """The structural course (gate output sequence), vector-blind.
+
+        The paper "preserves as different paths those having the same
+        course ... but using different sensitization vectors"; this key
+        identifies the shared course.
+        """
+        return self.nets
+
+    @property
+    def vector_signature(self) -> Tuple[str, ...]:
+        return tuple(step.vector_id for step in self.steps)
+
+    @property
+    def key(self) -> Tuple:
+        return (self.nets, self.vector_signature)
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def polarities(self) -> List[PolarityTiming]:
+        return [p for p in (self.rise, self.fall) if p is not None]
+
+    @property
+    def worst_arrival(self) -> float:
+        arrivals = [p.arrival for p in self.polarities()]
+        if not arrivals:
+            raise ValueError("path has no surviving polarity")
+        return max(arrivals)
+
+    def describe(self) -> str:
+        stages = " -> ".join(
+            f"{s.gate_name}[{s.cell_name}.{s.pin} {s.vector_id}]" for s in self.steps
+        )
+        pol = []
+        if self.rise:
+            pol.append(f"rise={self.rise.arrival * 1e12:.1f}ps")
+        if self.fall:
+            pol.append(f"fall={self.fall.arrival * 1e12:.1f}ps")
+        return f"{self.nets[0]} -> {self.nets[-1]} ({', '.join(pol)}): {stages}"

@@ -1,0 +1,424 @@
+"""Single-pass true-path enumeration (the paper's algorithm, Sec. IV.B).
+
+The search starts at a primary input carrying a transition (both
+polarities at once, thanks to the dual-value engine), and advances node
+to node.  At the current node it tries, for every fanout gate and every
+sensitization vector of the traversed pin:
+
+1. assign the vector's steady side values (requirements),
+2. forward-propagate implications (early conflict detection through the
+   semi-undetermined values),
+3. justify every pending requirement back to the primary inputs
+   (complete backtracking search within the step),
+4. compute the arc delay for each surviving polarity from the
+   vector-resolved polynomial arcs, propagating slews.
+
+Choice points (fanout stems and multi-vector pins) are saved states; a
+logic incompatibility discards every path sharing the current sub-path
+and resumes from the last saved state -- exactly the paper's control
+flow.  Paths with the same course but different vectors are kept
+distinct.  On reaching an output the path is recorded and the search
+returns to the last saved state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.delaycalc import DelayCalculator
+from repro.core.engine import (
+    COMPONENTS,
+    EngineCircuit,
+    EngineGate,
+    EngineState,
+    FALLING,
+    RISING,
+    VectorOption,
+)
+from repro.core.justification import Justifier, JustifyResult
+from repro.core.logic_values import Value9
+from repro.core.path import PathStep, PolarityTiming, TimedPath
+
+
+@dataclass
+class SearchStats:
+    """Counters exposed by one search run."""
+
+    paths_found: int = 0
+    extensions_tried: int = 0
+    conflicts: int = 0
+    justification_backtracks: int = 0
+    justification_aborts: int = 0
+    states_saved: int = 0
+    pruned: int = 0
+    cpu_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Arc:
+    """How the search entered a frame (None for the root frame)."""
+
+    step: PathStep
+    #: component -> (arrival, slew) at the frame's net.
+    timing: Dict[int, Tuple[float, float]]
+    #: All intrinsic steady requirements accumulated along the prefix
+    #: (complete mode only).
+    requirements: Tuple[Tuple[int, int], ...] = ()
+    #: component -> justifying PI vector from the global re-solve
+    #: (complete mode only; paper mode extracts it from the live state).
+    input_vectors: Dict[int, Dict] = field(default_factory=dict)
+
+
+@dataclass
+class _Frame:
+    net: int
+    mark: int
+    options: Iterator
+    arc: Optional[_Arc]
+
+
+class PathFinder:
+    """Enumerates true paths with exhaustive vector exploration.
+
+    Parameters
+    ----------
+    ec / calc:
+        Indexed circuit and its delay calculator.
+    justify_backtrack_limit:
+        Safety cap on justification backtracks per step (None =
+        complete; the developed tool runs complete).
+    max_paths:
+        Stop after this many recorded paths (None = exhaustive).
+    n_worst:
+        When set, prune extensions that provably cannot reach the
+        current N-th worst arrival (uses reverse-topological bounds).
+    single_polarity:
+        Restrict the trace to one input polarity (``RISING`` or
+        ``FALLING``).  The default (None) is the paper's dual-value
+        mode; the restriction exists for the ablation that measures
+        what the dual-value logic system buys ("avoids passing twice
+        through the same path").
+    complete:
+        The paper's control flow commits to the first justification
+        found at each step and never revisits it on a later conflict
+        ("jumps to the last saved point"), which can misclassify a few
+        sensitizations as false when an early justification choice
+        blocks a later requirement.  ``complete=True`` (an extension
+        beyond the paper) re-solves the *whole* accumulated requirement
+        set per polarity at every step, which is provably complete --
+        validated against brute force in the tests -- at roughly the
+        cost of one extra justification pass per extension.
+    """
+
+    def __init__(
+        self,
+        ec: EngineCircuit,
+        calc: DelayCalculator,
+        justify_backtrack_limit: Optional[int] = None,
+        max_paths: Optional[int] = None,
+        n_worst: Optional[int] = None,
+        single_polarity: Optional[int] = None,
+        complete: bool = False,
+    ):
+        self.ec = ec
+        self.calc = calc
+        self.justify_backtrack_limit = justify_backtrack_limit
+        self.max_paths = max_paths
+        self.n_worst = n_worst
+        self.single_polarity = single_polarity
+        self.complete = complete
+        self._origin: int = -1
+        self.stats = SearchStats()
+        self._bounds: Optional[List[float]] = None
+        self._best: List[float] = []  # min-heap of the N best arrivals
+        if n_worst is not None:
+            self._bounds = calc.remaining_bounds()
+
+    # ------------------------------------------------------------------
+    def find_paths(
+        self, inputs: Optional[Sequence[str]] = None
+    ) -> Iterator[TimedPath]:
+        """Yield every true path (x vector combination) of the circuit.
+
+        ``inputs`` restricts the origins (default: all primary inputs,
+        in declaration order).
+        """
+        started = time.perf_counter()
+        try:
+            origin_ids = (
+                self.ec.input_ids
+                if inputs is None
+                else [self.ec.net_id[name] for name in inputs]
+            )
+            for origin in origin_ids:
+                yield from self._search_from(origin)
+                if self._done():
+                    return
+        finally:
+            self.stats.cpu_seconds += time.perf_counter() - started
+
+    def _done(self) -> bool:
+        return self.max_paths is not None and self.stats.paths_found >= self.max_paths
+
+    # ------------------------------------------------------------------
+    def _options_for(self, net: int) -> List[Tuple[EngineGate, str, VectorOption]]:
+        out = []
+        for gate_index, pin in self.ec.sinks[net]:
+            gate = self.ec.gates[gate_index]
+            for option in gate.options[pin]:
+                out.append((gate, pin, option))
+        return out
+
+    def _search_from(self, origin: int) -> Iterator[TimedPath]:
+        self._origin = origin
+        state = EngineState(self.ec)
+        state.assign(origin, Value9.RISE, RISING)
+        state.assign(origin, Value9.FALL, FALLING)
+        if self.single_polarity is not None:
+            state.kill(1 - self.single_polarity)
+        if not state.propagate():
+            return
+        root_timing = {
+            comp: (0.0, self.calc.input_slew)
+            for comp in COMPONENTS
+            if state.alive[comp]
+        }
+        stack: List[_Frame] = [
+            _Frame(
+                net=origin,
+                mark=state.checkpoint(),
+                options=iter(self._options_for(origin)),
+                arc=_Arc(
+                    step=None,  # type: ignore[arg-type]
+                    timing=root_timing,
+                ),
+            )
+        ]
+        self.stats.states_saved += 1
+
+        while stack:
+            frame = stack[-1]
+            applied = None
+            for gate, pin, option in frame.options:
+                state.rollback(frame.mark)
+                self.stats.extensions_tried += 1
+                if self._prune(frame, gate):
+                    self.stats.pruned += 1
+                    continue
+                arc = self._apply(state, frame, gate, pin, option)
+                if arc is None:
+                    self.stats.conflicts += 1
+                    continue
+                applied = (gate, arc)
+                break
+            if applied is None:
+                state.rollback(frame.mark)
+                stack.pop()
+                continue
+            gate, arc = applied
+            out_net = gate.output_net
+            child = _Frame(
+                net=out_net,
+                mark=state.checkpoint(),
+                options=iter(self._options_for(out_net)),
+                arc=arc,
+            )
+            stack.append(child)
+            self.stats.states_saved += 1
+            if self.ec.is_output[out_net]:
+                path = self._record(state, stack)
+                if path is not None:
+                    yield path
+                    if self._done():
+                        return
+
+    # ------------------------------------------------------------------
+    def _prune(self, frame: _Frame, gate: EngineGate) -> bool:
+        if self._bounds is None or len(self._best) < (self.n_worst or 0):
+            return False
+        threshold = self._best[0]
+        bound = self._bounds[gate.output_net]
+        for _comp, (arrival, _slew) in frame.arc.timing.items():
+            if arrival + self.calc.worst_gate_delay(gate) + bound >= threshold:
+                return False
+        return True
+
+    def _apply(
+        self,
+        state: EngineState,
+        frame: _Frame,
+        gate: EngineGate,
+        pin: str,
+        option: VectorOption,
+    ) -> Optional[_Arc]:
+        for net, bit in option.side_assignments:
+            if not state.require_steady(net, bit):
+                return None
+        if not state.propagate():
+            return None
+
+        requirements = frame.arc.requirements + option.side_assignments
+        input_vectors: Dict[int, Dict] = {}
+        if self.complete:
+            # Global re-solve per polarity: complete, immune to stale
+            # justification commitments from earlier steps.
+            sensitizable = set()
+            for comp in frame.arc.timing:
+                if not state.alive[comp]:
+                    continue
+                vector = self._check_polarity(comp, requirements)
+                if vector is not None:
+                    sensitizable.add(comp)
+                    input_vectors[comp] = vector
+            if not sensitizable:
+                return None
+        else:
+            justifier = Justifier(
+                state, backtrack_limit=self.justify_backtrack_limit
+            )
+            result = justifier.justify()
+            self.stats.justification_backtracks += justifier.backtracks
+            if result is JustifyResult.ABORTED:
+                self.stats.justification_aborts += 1
+                return None
+            if result is not JustifyResult.SAT:
+                return None
+            sensitizable = {
+                comp for comp in frame.arc.timing if state.alive[comp]
+            }
+
+        out_net = gate.output_net
+        timing: Dict[int, Tuple[float, float]] = {}
+        for comp, (arrival, slew) in frame.arc.timing.items():
+            if comp not in sensitizable:
+                continue
+            in_value = state.values[comp][frame.net]
+            out_value = state.values[comp][out_net]
+            if not Value9.is_transition(in_value) or not Value9.is_transition(
+                out_value
+            ):
+                continue
+            input_rising = in_value == Value9.RISE
+            output_rising = out_value == Value9.RISE
+            delay, out_slew = self.calc.arc_timing(
+                gate, pin, option.vector.vector_id, input_rising, output_rising, slew
+            )
+            timing[comp] = (arrival + delay, out_slew)
+        if not timing:
+            return None
+        step = PathStep(
+            gate_name=gate.inst.name,
+            cell_name=gate.cell.name,
+            pin=pin,
+            vector_id=option.vector.vector_id,
+            case=option.vector.case,
+            fo=self.calc.fo[gate.index],
+        )
+        return _Arc(step=step, timing=timing, requirements=requirements,
+                    input_vectors=input_vectors)
+
+    def _check_polarity(
+        self, comp: int, requirements: Tuple[Tuple[int, int], ...]
+    ) -> Optional[Dict]:
+        """Complete-mode satisfiability check of one polarity: a fresh
+        solve of the whole requirement set.  Returns a justifying PI
+        vector, or None when the polarity is unsensitizable."""
+        scratch = EngineState(self.ec)
+        scratch.kill(1 - comp)
+        scratch.assign(
+            self._origin,
+            Value9.RISE if comp == RISING else Value9.FALL,
+            comp,
+        )
+        if not scratch.propagate():
+            return None
+        for net, bit in requirements:
+            if not scratch.require_steady(net, bit):
+                return None
+        if not scratch.propagate():
+            return None
+        justifier = Justifier(
+            scratch,
+            backtrack_limit=self.justify_backtrack_limit,
+            dynamic=True,
+            origin=self._origin,
+        )
+        result = justifier.justify()
+        self.stats.justification_backtracks += justifier.backtracks
+        if result is JustifyResult.ABORTED:
+            self.stats.justification_aborts += 1
+            return None
+        if result is not JustifyResult.SAT:
+            return None
+        return scratch.input_vector(comp)
+
+    # ------------------------------------------------------------------
+    def _record(self, state: EngineState, stack: List[_Frame]) -> Optional[TimedPath]:
+        frames = [f for f in stack if f.arc is not None]
+        root, rest = frames[0], frames[1:]
+        if not rest:
+            return None  # degenerate: input is also an output
+        nets = tuple(self.ec.net_names[f.net] for f in frames)
+        steps = tuple(f.arc.step for f in rest)
+        multi_vector = any(
+            len(self.ec.gates[self.ec.driver[self.ec.net_id[nets[k + 1]]]].options[
+                steps[k].pin
+            ]) > 1
+            for k in range(len(steps))
+        )
+        leaf = rest[-1]
+        polarity: Dict[int, PolarityTiming] = {}
+        for comp, (arrival, slew) in leaf.arc.timing.items():
+            if not state.alive[comp]:
+                continue
+            gate_delays: List[float] = []
+            gate_slews: List[float] = []
+            previous = 0.0
+            complete = True
+            for f in rest:
+                if comp not in f.arc.timing:
+                    complete = False
+                    break
+                arr, sl = f.arc.timing[comp]
+                gate_delays.append(arr - previous)
+                gate_slews.append(sl)
+                previous = arr
+            if not complete:
+                continue
+            out_value = state.values[comp][leaf.net]
+            input_vector = (
+                leaf.arc.input_vectors[comp]
+                if self.complete
+                else state.input_vector(comp)
+            )
+            polarity[comp] = PolarityTiming(
+                input_rising=comp == RISING,
+                output_rising=out_value == Value9.RISE,
+                arrival=arrival,
+                slew=slew,
+                gate_delays=gate_delays,
+                gate_slews=gate_slews,
+                input_vector=input_vector,
+            )
+        if not polarity:
+            return None
+        path = TimedPath(
+            circuit_name=self.ec.circuit.name,
+            nets=nets,
+            steps=steps,
+            rise=polarity.get(RISING),
+            fall=polarity.get(FALLING),
+            multi_vector=multi_vector,
+        )
+        self.stats.paths_found += 1
+        if self.n_worst is not None:
+            heapq.heappush(self._best, path.worst_arrival)
+            if len(self._best) > self.n_worst:
+                heapq.heappop(self._best)
+        return path

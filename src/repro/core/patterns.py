@@ -1,0 +1,167 @@
+"""Two-pattern delay-test export.
+
+The path finder descends from RESIST, a *test generation* algorithm for
+path delay faults -- every sensitized path it reports comes with a
+primary-input vector, which is exactly a two-pattern delay test: apply
+``V1`` (transition input at its initial value), then ``V2`` (transition
+input flipped), and the transition races down the path to the output.
+
+This module turns :class:`~repro.core.path.TimedPath` results into an
+explicit test set: pattern pairs with expected output values and the
+tested path's identity, plus a coverage summary in the path-delay-fault
+sense (which multi-vector paths have a test for their *worst* vector --
+the coverage a vector-blind tool cannot claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.path import TimedPath
+from repro.netlist.circuit import Circuit
+
+
+@dataclass
+class DelayTest:
+    """One two-pattern test for one sensitized path."""
+
+    path_nets: Tuple[str, ...]
+    vector_signature: Tuple[str, ...]
+    input_rising: bool
+    #: First and second pattern: PI name -> 0/1 (don't-cares filled 0).
+    v1: Dict[str, int]
+    v2: Dict[str, int]
+    #: Expected endpoint values under V1 and V2.
+    expected: Tuple[int, int]
+    #: Arrival the test exercises (the measured delay bound).
+    arrival: float
+
+    @property
+    def endpoint(self) -> str:
+        return self.path_nets[-1]
+
+    @property
+    def origin(self) -> str:
+        return self.path_nets[0]
+
+
+def _concretize(vector: Dict[str, Optional[object]], origin: str,
+                rising: bool) -> Tuple[Dict[str, int], Dict[str, int]]:
+    v1: Dict[str, int] = {}
+    for name, value in vector.items():
+        v1[name] = value if value in (0, 1) else 0
+    v1[origin] = 0 if rising else 1
+    v2 = dict(v1)
+    v2[origin] = 1 - v1[origin]
+    return v1, v2
+
+
+def generate_tests(
+    circuit: Circuit,
+    paths: Sequence[TimedPath],
+    validate: bool = True,
+) -> List[DelayTest]:
+    """One delay test per (path, polarity).
+
+    With ``validate=True`` each pattern pair is checked in two-valued
+    simulation (the endpoint must toggle); a non-toggling pair would be
+    a tool bug and raises.
+    """
+    tests: List[DelayTest] = []
+    for path in paths:
+        for polarity in path.polarities():
+            v1, v2 = _concretize(
+                polarity.input_vector, path.nets[0], polarity.input_rising
+            )
+            out1 = circuit.simulate(v1)[path.nets[-1]]
+            out2 = circuit.simulate(v2)[path.nets[-1]]
+            if validate and out1 == out2:
+                raise ValueError(
+                    f"non-toggling pattern pair for {path.describe()}"
+                )
+            tests.append(
+                DelayTest(
+                    path_nets=path.nets,
+                    vector_signature=path.vector_signature,
+                    input_rising=polarity.input_rising,
+                    v1=v1,
+                    v2=v2,
+                    expected=(out1, out2),
+                    arrival=polarity.arrival,
+                )
+            )
+    return tests
+
+
+def write_pattern_file(tests: Sequence[DelayTest],
+                       inputs: Sequence[str]) -> str:
+    """Simple text exchange format: one test per block.
+
+    Patterns are bit strings in the declared input order; comments carry
+    the tested path and the timing bound.
+    """
+    lines = [f"# delay tests ({len(tests)} pairs)"]
+    lines.append(f"# inputs: {' '.join(inputs)}")
+    for k, test in enumerate(tests):
+        lines.append(f"test {k}")
+        lines.append(f"  # path: {' -> '.join(test.path_nets)}")
+        lines.append(f"  # vectors: {','.join(test.vector_signature)}")
+        lines.append(f"  # arrival: {test.arrival * 1e12:.2f} ps")
+        v1 = "".join(str(test.v1[i]) for i in inputs)
+        v2 = "".join(str(test.v2[i]) for i in inputs)
+        lines.append(f"  v1 {v1}")
+        lines.append(f"  v2 {v2}")
+        lines.append(f"  expect {test.expected[0]}{test.expected[1]}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class CoverageSummary:
+    """Path-delay-fault flavoured coverage of a test set."""
+
+    courses_total: int
+    courses_tested: int
+    multi_vector_courses: int
+    multi_vector_worst_covered: int
+
+    @property
+    def course_coverage(self) -> float:
+        return self.courses_tested / self.courses_total if self.courses_total else 0.0
+
+    @property
+    def worst_vector_coverage(self) -> float:
+        if not self.multi_vector_courses:
+            return 1.0
+        return self.multi_vector_worst_covered / self.multi_vector_courses
+
+
+def coverage(paths: Sequence[TimedPath],
+             tests: Sequence[DelayTest]) -> CoverageSummary:
+    """How much of the (known-true) path population the tests cover.
+
+    ``multi_vector_worst_covered`` counts multi-vector courses whose
+    *worst* vector combination has a test -- the quantity a vector-blind
+    flow systematically undercovers.
+    """
+    by_course: Dict[Tuple[str, ...], List[TimedPath]] = {}
+    for p in paths:
+        by_course.setdefault(p.course, []).append(p)
+    tested_keys = {(t.path_nets, t.vector_signature) for t in tests}
+    tested_courses = {t.path_nets for t in tests}
+
+    multi = 0
+    worst_covered = 0
+    for course, variants in by_course.items():
+        if not any(v.multi_vector for v in variants):
+            continue
+        multi += 1
+        worst = max(variants, key=lambda v: v.worst_arrival)
+        if (worst.course, worst.vector_signature) in tested_keys:
+            worst_covered += 1
+    return CoverageSummary(
+        courses_total=len(by_course),
+        courses_tested=len(tested_courses & set(by_course)),
+        multi_vector_courses=multi,
+        multi_vector_worst_covered=worst_covered,
+    )

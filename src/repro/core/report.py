@@ -1,0 +1,141 @@
+"""Timing reports: slack analysis and machine-readable path dumps.
+
+Beyond the paper's path lists, downstream users need the usual STA
+products: slack against a required time, per-endpoint worst arrivals,
+and serializable path records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.path import PolarityTiming, TimedPath
+
+
+def path_to_dict(path: TimedPath) -> Dict:
+    """JSON-friendly representation of a timed path."""
+
+    def polarity(p: Optional[PolarityTiming]) -> Optional[Dict]:
+        if p is None:
+            return None
+        return {
+            "input_rising": p.input_rising,
+            "output_rising": p.output_rising,
+            "arrival": p.arrival,
+            "slew": p.slew,
+            "gate_delays": list(p.gate_delays),
+            "gate_slews": list(p.gate_slews),
+            "input_vector": {
+                k: v for k, v in p.input_vector.items()
+            },
+        }
+
+    return {
+        "circuit": path.circuit_name,
+        "nets": list(path.nets),
+        "steps": [
+            {
+                "gate": s.gate_name,
+                "cell": s.cell_name,
+                "pin": s.pin,
+                "vector_id": s.vector_id,
+                "case": s.case,
+                "fo": s.fo,
+            }
+            for s in path.steps
+        ],
+        "multi_vector": path.multi_vector,
+        "rise": polarity(path.rise),
+        "fall": polarity(path.fall),
+    }
+
+
+def paths_to_json(paths: Iterable[TimedPath], indent: Optional[int] = None) -> str:
+    return json.dumps([path_to_dict(p) for p in paths], indent=indent)
+
+
+@dataclass
+class SlackEntry:
+    """Worst timing at one endpoint against a required time."""
+
+    endpoint: str
+    arrival: float
+    slack: float
+    path: TimedPath
+
+    @property
+    def violated(self) -> bool:
+        return self.slack < 0
+
+
+def slack_report(
+    paths: Sequence[TimedPath],
+    required_time: float,
+) -> List[SlackEntry]:
+    """Per-endpoint worst arrival and slack, most critical first.
+
+    Because the path finder reports the true worst vector per path, the
+    slack here is the *functional* worst case -- a two-step easy-vector
+    tool would overestimate these slacks (the paper's point).
+    """
+    worst_per_endpoint: Dict[str, TimedPath] = {}
+    for path in paths:
+        endpoint = path.nets[-1]
+        current = worst_per_endpoint.get(endpoint)
+        if current is None or path.worst_arrival > current.worst_arrival:
+            worst_per_endpoint[endpoint] = path
+    entries = [
+        SlackEntry(
+            endpoint=endpoint,
+            arrival=path.worst_arrival,
+            slack=required_time - path.worst_arrival,
+            path=path,
+        )
+        for endpoint, path in worst_per_endpoint.items()
+    ]
+    entries.sort(key=lambda e: e.slack)
+    return entries
+
+
+def hold_report(
+    paths: Sequence[TimedPath],
+    hold_time: float,
+) -> List[SlackEntry]:
+    """Min-delay (hold) analysis: per endpoint, the *fastest* true path
+    and its hold slack (arrival - hold requirement).
+
+    The true-path enumeration matters here too: a vector-blind tool can
+    overestimate the fastest path's delay (reporting a harder vector's
+    delay for it) and miss a hold violation.  The fastest *polarity* of
+    the fastest vector variant is used.
+    """
+    best_per_endpoint: Dict[str, Tuple[float, TimedPath]] = {}
+    for path in paths:
+        arrival = min(p.arrival for p in path.polarities())
+        endpoint = path.nets[-1]
+        current = best_per_endpoint.get(endpoint)
+        if current is None or arrival < current[0]:
+            best_per_endpoint[endpoint] = (arrival, path)
+    entries = [
+        SlackEntry(
+            endpoint=endpoint,
+            arrival=arrival,
+            slack=arrival - hold_time,
+            path=path,
+        )
+        for endpoint, (arrival, path) in best_per_endpoint.items()
+    ]
+    entries.sort(key=lambda e: e.slack)
+    return entries
+
+
+def format_slack_report(entries: Sequence[SlackEntry]) -> str:
+    lines = ["endpoint       arrival(ps)   slack(ps)  status"]
+    for e in entries:
+        status = "VIOLATED" if e.violated else "met"
+        lines.append(
+            f"{e.endpoint:<14s} {e.arrival * 1e12:10.1f} {e.slack * 1e12:10.1f}  {status}"
+        )
+    return "\n".join(lines)

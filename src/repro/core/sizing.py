@@ -1,0 +1,143 @@
+"""Greedy gate sizing on the true critical path (ECO flow).
+
+A small engineering-change-order loop built on the single-pass STA:
+while the worst true path misses the required time, upsize the gate on
+it with the largest delay contribution (swapping in its X2 drive
+variant), then re-analyze.  Because the analysis is vector-resolved,
+the loop optimizes against the *functional* worst case rather than an
+easy-vector estimate -- sizing driven by a vector-blind tool can stop
+too early (it thinks timing is met while a harder vector still fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.path import TimedPath
+from repro.core.sta import TruePathSTA
+from repro.netlist.circuit import Circuit
+
+
+def replace_cell(circuit: Circuit, inst_name: str, new_cell) -> None:
+    """Swap an instance's cell for a pin-compatible variant, in place."""
+    inst = circuit.instances[inst_name]
+    if isinstance(new_cell, str):
+        new_cell = circuit.library[new_cell]
+    if new_cell.inputs != inst.cell.inputs:
+        raise ValueError(
+            f"{new_cell.name} is not pin-compatible with {inst.cell.name}"
+        )
+    inst.cell = new_cell
+    circuit._topo_cache = None  # timing caches key off instance cells
+
+
+@dataclass
+class SizingChange:
+    gate_name: str
+    from_cell: str
+    to_cell: str
+    arrival_before: float
+    arrival_after: float
+
+
+@dataclass
+class SizingResult:
+    met: bool
+    required_time: float
+    initial_arrival: float
+    final_arrival: float
+    changes: List[SizingChange] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"sizing: {self.initial_arrival * 1e12:.1f} ps -> "
+            f"{self.final_arrival * 1e12:.1f} ps "
+            f"(required {self.required_time * 1e12:.1f} ps, "
+            f"{'MET' if self.met else 'NOT MET'})"
+        ]
+        for c in self.changes:
+            lines.append(
+                f"  {c.gate_name}: {c.from_cell} -> {c.to_cell} "
+                f"({c.arrival_before * 1e12:.1f} -> "
+                f"{c.arrival_after * 1e12:.1f} ps)"
+            )
+        return "\n".join(lines)
+
+
+def _worst_path(sta: TruePathSTA, max_paths: Optional[int]) -> TimedPath:
+    paths = sta.enumerate_paths(max_paths=max_paths)
+    if not paths:
+        raise ValueError("circuit has no true paths")
+    return max(paths, key=lambda p: p.worst_arrival)
+
+
+def upsize_critical_path(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    required_time: float,
+    variant_suffix: str = "_X2",
+    max_iterations: int = 20,
+    max_paths: Optional[int] = 5000,
+    temp: float = 25.0,
+    vdd: Optional[float] = None,
+) -> SizingResult:
+    """Greedy upsizing until the worst true path meets ``required_time``.
+
+    The circuit's library must contain the drive variants and the
+    characterized library must cover them (use
+    :func:`repro.gates.library.sized_library`).  The circuit is
+    modified in place.
+    """
+    sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
+    worst = _worst_path(sta, max_paths)
+    initial = worst.worst_arrival
+    result = SizingResult(
+        met=initial <= required_time,
+        required_time=required_time,
+        initial_arrival=initial,
+        final_arrival=initial,
+    )
+    for _ in range(max_iterations):
+        if result.final_arrival <= required_time:
+            result.met = True
+            return result
+        polarity = max(worst.polarities(), key=lambda p: p.arrival)
+        # Candidate: the largest-delay gate on the path that still has
+        # an unapplied variant.
+        candidates = sorted(
+            zip(worst.steps, polarity.gate_delays),
+            key=lambda item: -item[1],
+        )
+        swapped = False
+        for step, _delay in candidates:
+            variant_name = f"{step.cell_name}{variant_suffix}"
+            if variant_name not in circuit.library:
+                continue
+            before = result.final_arrival
+            replace_cell(circuit, step.gate_name, variant_name)
+            sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
+            worst = _worst_path(sta, max_paths)
+            after = worst.worst_arrival
+            if after >= before:  # upsizing hurt (self-loading); revert
+                replace_cell(circuit, step.gate_name, step.cell_name)
+                sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
+                worst = _worst_path(sta, max_paths)
+                continue
+            result.changes.append(
+                SizingChange(
+                    gate_name=step.gate_name,
+                    from_cell=step.cell_name,
+                    to_cell=variant_name,
+                    arrival_before=before,
+                    arrival_after=after,
+                )
+            )
+            result.final_arrival = after
+            swapped = True
+            break
+        if not swapped:
+            break  # nothing left to upsize
+    result.met = result.final_arrival <= required_time
+    return result

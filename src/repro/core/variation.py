@@ -1,0 +1,141 @@
+"""Monte-Carlo delay variation analysis (extension).
+
+The paper's conclusions point at process variation as the next step for
+the delay model.  This module adds the classic statistical layer on top
+of the vector-resolved path delays: every gate traversal's delay is
+scaled by a global (inter-die) factor shared across the circuit and an
+independent local (intra-die) factor, both lognormal, and path-arrival
+distributions / criticality probabilities are estimated by sampling.
+
+Because the true-path finder reports the worst *sensitization vector*
+per course, the statistics here answer the question a vector-blind tool
+cannot: "which path is most likely critical, accounting for both the
+vector dependence and the process spread?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.path import TimedPath
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Lognormal delay-variation magnitudes (sigma of ln-scale)."""
+
+    sigma_local: float = 0.05
+    sigma_global: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.sigma_local < 0 or self.sigma_global < 0:
+            raise ValueError("sigmas must be non-negative")
+
+
+def _polarity(path: TimedPath):
+    return max(path.polarities(), key=lambda p: p.arrival)
+
+
+def sample_path_arrivals(
+    paths: Sequence[TimedPath],
+    spec: VariationSpec,
+    n_samples: int = 1000,
+) -> np.ndarray:
+    """(n_samples, n_paths) matrix of sampled arrivals.
+
+    Gate instances shared between paths receive the *same* local factor
+    within each sample (correlated through the gate, as physically
+    appropriate), and all gates share the per-sample global factor.
+    """
+    if not paths:
+        raise ValueError("no paths to sample")
+    rng = np.random.default_rng(spec.seed)
+    gate_names = sorted(
+        {step.gate_name for path in paths for step in path.steps}
+    )
+    gate_index = {name: k for k, name in enumerate(gate_names)}
+
+    nominal = []
+    for path in paths:
+        polarity = _polarity(path)
+        nominal.append(
+            (np.asarray(polarity.gate_delays),
+             np.asarray([gate_index[s.gate_name] for s in path.steps])))
+
+    global_factors = np.exp(
+        rng.normal(0.0, spec.sigma_global, size=n_samples)
+    )
+    local_factors = np.exp(
+        rng.normal(0.0, spec.sigma_local, size=(n_samples, len(gate_names)))
+    )
+    out = np.empty((n_samples, len(paths)))
+    for p, (delays, indices) in enumerate(nominal):
+        per_sample = local_factors[:, indices] * delays
+        out[:, p] = global_factors * per_sample.sum(axis=1)
+    return out
+
+
+@dataclass
+class PathStatistics:
+    """Distribution summary of one path's arrival."""
+
+    nominal: float
+    mean: float
+    std: float
+    q50: float
+    q95: float
+    q997: float
+
+
+def path_statistics(
+    paths: Sequence[TimedPath],
+    spec: VariationSpec,
+    n_samples: int = 2000,
+) -> List[PathStatistics]:
+    samples = sample_path_arrivals(paths, spec, n_samples)
+    stats = []
+    for k, path in enumerate(paths):
+        column = samples[:, k]
+        stats.append(
+            PathStatistics(
+                nominal=_polarity(path).arrival,
+                mean=float(column.mean()),
+                std=float(column.std()),
+                q50=float(np.quantile(column, 0.50)),
+                q95=float(np.quantile(column, 0.95)),
+                q997=float(np.quantile(column, 0.997)),
+            )
+        )
+    return stats
+
+
+def criticality(
+    paths: Sequence[TimedPath],
+    spec: VariationSpec,
+    n_samples: int = 2000,
+) -> Dict[Tuple[str, ...], float]:
+    """Probability that each course is the circuit's critical path."""
+    samples = sample_path_arrivals(paths, spec, n_samples)
+    winners = np.argmax(samples, axis=1)
+    counts: Dict[Tuple[str, ...], float] = {}
+    for k, path in enumerate(paths):
+        share = float(np.mean(winners == k))
+        counts[path.course] = counts.get(path.course, 0.0) + share
+    return counts
+
+
+def timing_yield(
+    paths: Sequence[TimedPath],
+    spec: VariationSpec,
+    required_time: float,
+    n_samples: int = 2000,
+) -> float:
+    """Fraction of samples in which *every* path meets the required
+    time (the statistical analogue of a slack report)."""
+    samples = sample_path_arrivals(paths, spec, n_samples)
+    worst = samples.max(axis=1)
+    return float(np.mean(worst <= required_time))

@@ -1,0 +1,17 @@
+"""Experiment harness regenerating every table of the paper.
+
+One module per experiment family:
+
+* :mod:`repro.eval.iscas` -- the benchmark suite (ISCAS-85 stand-ins);
+* :mod:`repro.eval.fig4` -- the paper's Figure 4 example circuit;
+* :mod:`repro.eval.transistor_report` -- the Fig. 2/3 transistor-level
+  current-path analysis;
+* :mod:`repro.eval.metrics` -- error statistics;
+* :mod:`repro.eval.tables` -- plain-text table rendering;
+* :mod:`repro.eval.experiments` -- runners for Tables 1-9.
+"""
+
+from repro.eval.iscas import ISCAS_SUITE, build_circuit
+from repro.eval.tables import render_table
+
+__all__ = ["ISCAS_SUITE", "build_circuit", "render_table"]

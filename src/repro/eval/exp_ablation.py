@@ -1,0 +1,133 @@
+"""Ablation runners for the design decisions called out in DESIGN.md.
+
+1. **Dual-value logic** -- dual single pass vs two single-polarity
+   passes (:func:`dual_logic_ablation`).
+2. **Polynomial order** -- fixed first-order vs adaptive vs LUT fit
+   accuracy (:func:`model_order_ablation`).
+3. **Vector-aware characterization** -- vector-resolved vs vector-blind
+   delay estimates on the same paths (quantified by Tables 7-9 and the
+   integration tests; helper here for the record).
+4. **Backtrack-limit sweep** -- the baseline's c6288 knob
+   (:func:`backtrack_limit_sweep`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.charlib.characterize import CharacterizationGrid, characterize_cell
+from repro.charlib.lut import LutModel
+from repro.charlib.regression import fit_adaptive, fit_fixed
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.engine import FALLING, RISING
+from repro.core.sta import TruePathSTA
+from repro.eval.tables import render_table
+from repro.gates.library import default_library
+from repro.netlist.circuit import Circuit
+from repro.tech.technology import Technology
+
+
+def dual_logic_ablation(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    max_paths: Optional[int] = 20000,
+) -> Dict:
+    """Dual single pass vs two single-polarity passes."""
+    sta = TruePathSTA(circuit, charlib)
+    start = time.perf_counter()
+    dual = sta.enumerate_paths(max_paths=max_paths)
+    dual_time = time.perf_counter() - start
+    dual_stats = sta.last_stats.as_dict()
+
+    start = time.perf_counter()
+    rise = sta.enumerate_paths(max_paths=max_paths, single_polarity=RISING)
+    rise_ext = sta.last_stats.extensions_tried
+    fall = sta.enumerate_paths(max_paths=max_paths, single_polarity=FALLING)
+    fall_ext = sta.last_stats.extensions_tried
+    two_time = time.perf_counter() - start
+
+    return {
+        "dual_time": dual_time,
+        "two_pass_time": two_time,
+        "speedup": two_time / dual_time if dual_time else float("inf"),
+        "dual_extensions": dual_stats["extensions_tried"],
+        "two_pass_extensions": rise_ext + fall_ext,
+        "paths": len(dual),
+        "consistent": (
+            {p.key for p in dual if p.rise} == {p.key for p in rise}
+            and {p.key for p in dual if p.fall} == {p.key for p in fall}
+        ),
+    }
+
+
+def model_order_ablation(
+    tech: Technology,
+    cell_name: str = "AO22",
+    pin: str = "A",
+    vector_id: str = "A:110",
+    input_rising: bool = False,
+    steps_per_window: int = 250,
+) -> Dict:
+    """Fit quality of first-order vs adaptive polynomial vs LUT."""
+    grid = CharacterizationGrid(
+        fo=(0.5, 1.0, 2.0, 4.0, 8.0), t_in=(1e-11, 4e-11, 1.2e-10, 3e-10)
+    )
+    lib = default_library()
+    sweeps = characterize_cell(lib[cell_name], tech, grid,
+                               steps_per_window=steps_per_window)
+    samples = sweeps[(pin, vector_id, input_rising)]
+    points = np.array([[s["fo"], s["t_in"], s["temp"], s["vdd"]] for s in samples])
+    delays = np.array([s["delay"] for s in samples])
+
+    _first, first_report = fit_fixed(points, delays, (1, 1, 0, 0))
+    adaptive, adaptive_report = fit_adaptive(points, delays, 0.02)
+    lut = LutModel.from_samples(samples, grid.t_in, grid.fo, "delay",
+                                ref_temp=25.0, ref_vdd=tech.vdd)
+    # Off-grid probes: LUT interpolates, polynomial extrapolates smoothly.
+    probes = [(1.5, 2.5e-11), (3.0, 8e-11), (6.0, 2e-10)]
+    rows = []
+    for fo, t_in in probes:
+        rows.append({
+            "fo": fo,
+            "t_in": t_in,
+            "adaptive": adaptive.evaluate(fo, t_in, 25.0, tech.vdd),
+            "lut": lut.evaluate(fo, t_in, 25.0, tech.vdd),
+        })
+    return {
+        "first_order_max_err": first_report.max_rel_error,
+        "adaptive_max_err": adaptive_report.max_rel_error,
+        "adaptive_orders": adaptive_report.orders,
+        "probes": rows,
+    }
+
+
+def backtrack_limit_sweep(
+    circuit: Circuit,
+    charlib_lut: CharacterizedLibrary,
+    limits: Sequence[int] = (50, 500, 5000),
+    max_structural_paths: int = 300,
+) -> Dict:
+    """The paper's c6288 rows: sweep the baseline's backtrack limit."""
+    rows = []
+    for limit in limits:
+        tool = TwoStepSTA(circuit, charlib_lut, backtrack_limit=limit)
+        report = tool.run(max_structural_paths=max_structural_paths)
+        rows.append({
+            "limit": limit,
+            "cpu_s": round(report.cpu_seconds, 3),
+            "paths": report.paths_explored,
+            "true": report.true_paths,
+            "false": report.declared_false,
+            "aborted": report.backtrack_limited,
+        })
+    text = render_table(
+        ["limit", "cpu_s", "paths", "true", "false", "aborted"],
+        [[r[k] for k in ("limit", "cpu_s", "paths", "true", "false", "aborted")]
+         for r in rows],
+        title=f"Backtrack-limit sweep on {circuit.name}",
+    )
+    return {"rows": rows, "text": text}

@@ -1,0 +1,84 @@
+"""Extension experiment: PVT-aware analysis (the paper's future work).
+
+Equation (3) already carries temperature and supply terms; the paper
+lists "considering parameter variations on the delay model" as future
+work and notes that, because the tool relies on the analytical model
+only, nothing but the model needs extending.  This module demonstrates
+exactly that: characterize over a (T, VDD) grid, then re-run the same
+single-pass analysis at corners -- no engine changes required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.charlib.characterize import CharacterizationGrid, characterize_library
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.sta import TruePathSTA
+from repro.eval.tables import render_table
+from repro.gates.library import Library, default_library
+from repro.netlist.circuit import Circuit
+from repro.tech.technology import Technology
+
+#: Compact grid with PVT axes (order-of-minutes for a cell subset).
+PVT_GRID = CharacterizationGrid(
+    fo=(1.0, 4.0),
+    t_in=(2e-11, 1.2e-10),
+    temp=(25.0, 125.0),
+    vdd_scale=(0.9, 1.0),
+)
+
+#: Corners in the classic naming.
+CORNERS: Dict[str, Tuple[float, float]] = {
+    "typical": (25.0, 1.0),
+    "hot": (125.0, 1.0),
+    "low-vdd": (25.0, 0.9),
+    "worst": (125.0, 0.9),
+}
+
+
+def characterize_pvt(
+    tech: Technology,
+    cells: Sequence[str],
+    library: Optional[Library] = None,
+    steps_per_window: int = 250,
+) -> CharacterizedLibrary:
+    """Characterize a cell subset over the PVT grid (cached)."""
+    return characterize_library(
+        library or default_library(),
+        tech,
+        grid=PVT_GRID,
+        cells=list(cells),
+        steps_per_window=steps_per_window,
+    )
+
+
+def corner_analysis(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    tech: Technology,
+    corners: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> Dict:
+    """Worst true-path arrival of a circuit at each corner."""
+    corners = corners or CORNERS
+    rows: List[Dict] = []
+    for name, (temp, vdd_scale) in corners.items():
+        sta = TruePathSTA(circuit, charlib, temp=temp,
+                          vdd=vdd_scale * tech.vdd)
+        paths = sta.enumerate_paths()
+        worst = max(paths, key=lambda p: p.worst_arrival)
+        rows.append({
+            "corner": name,
+            "temp_c": temp,
+            "vdd": round(vdd_scale * tech.vdd, 3),
+            "worst_arrival": worst.worst_arrival,
+            "worst_path": " -> ".join(worst.nets),
+            "paths": len(paths),
+        })
+    text = render_table(
+        ["corner", "T (C)", "VDD (V)", "worst arrival (ps)", "paths"],
+        [[r["corner"], r["temp_c"], r["vdd"],
+          f"{r['worst_arrival'] * 1e12:.1f}", r["paths"]] for r in rows],
+        title=f"Corner analysis of {circuit.name} ({tech.name})",
+    )
+    return {"rows": rows, "text": text}

@@ -1,0 +1,61 @@
+"""The paper's Figure 4 example circuit (reconstructed).
+
+The original figure is only described in prose: a seven-input circuit
+whose critical path runs a falling edge through nodes
+``N1 -> n10 -> n11 -> n12 -> N20`` where ``n12`` is the output of an
+AO22 traversed through pin A, and where
+
+* the *easiest* sensitization assigns ``N6 = 0`` (forcing the AO22's C
+  and D side inputs to 0 without touching ``N7`` -- the paper's vector
+  ``N1=F, N2..N5=1, N6=0, N7=X``), which is AO22 case 1 (fast);
+* a *harder* sensitization (``N6=1, N7=0``) drives ``C=1, D=0`` -- AO22
+  case 2, the genuinely slowest vector the commercial tool misses.
+
+This module builds a concrete circuit with exactly those two input
+vectors for the critical path (a third, ``N6=1, N7=1`` -> case 3, also
+exists in our reconstruction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.gates.library import Library, default_library
+from repro.netlist.circuit import Circuit
+
+#: The paper's two reported input vectors for the critical path.
+PAPER_VECTOR_SLOW: Dict[str, object] = {
+    "N1": "F", "N2": 1, "N3": 1, "N4": 1, "N5": 1, "N6": 1, "N7": 0,
+}
+PAPER_VECTOR_EASY: Dict[str, object] = {
+    "N1": "F", "N2": 1, "N3": 1, "N4": 1, "N5": 1, "N6": 0, "N7": None,
+}
+
+#: The critical path's nets, in order.
+CRITICAL_NETS: Tuple[str, ...] = ("N1", "n10", "n11", "n12", "N20")
+
+
+def fig4_circuit(library: Optional[Library] = None) -> Circuit:
+    """Build the Figure 4 example circuit."""
+    c = Circuit("fig4", library or default_library())
+    for k in range(1, 8):
+        c.add_input(f"N{k}")
+    c.add_gate("NAND2", "n10", {"A": "N1", "B": "N2"}, name="U10")
+    c.add_gate("NAND2", "n11", {"A": "n10", "B": "N3"}, name="U11")
+    # Side-input cone of the AO22: C = N6 & ~N7, D = N6 & N7, so N6=0
+    # zeroes both (easy, case 1) while N6=1/N7=0 yields C=1, D=0 (case 2).
+    c.add_gate("INV", "n7n", {"A": "N7"}, name="U7")
+    c.add_gate("AND2", "n13", {"A": "N6", "B": "n7n"}, name="U13")
+    c.add_gate("AND2", "n14", {"A": "N6", "B": "N7"}, name="U14")
+    c.add_gate("AO22", "n12", {"A": "n11", "B": "N4", "C": "n13", "D": "n14"},
+               name="U12")
+    c.add_gate("NAND2", "N20", {"A": "n12", "B": "N5"}, name="U20")
+    c.add_output("N20")
+    c.check()
+    return c
+
+
+def critical_path_vectors(paths) -> List:
+    """Filter a path list down to the Figure 4 critical path's vector
+    variants (any polarity)."""
+    return [p for p in paths if p.nets == CRITICAL_NETS]

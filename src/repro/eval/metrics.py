@@ -1,0 +1,55 @@
+"""Error statistics for the accuracy tables (Tables 7-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass
+class ErrorStats:
+    """Mean/max relative errors over paths and individual gates."""
+
+    mean_path_error: float
+    max_path_error: float
+    mean_gate_error: float
+    max_gate_error: float
+    n_paths: int
+    n_gates: int
+
+    def as_row(self) -> Dict[str, str]:
+        return {
+            "mean_path": f"{100 * self.mean_path_error:.2f}%",
+            "max_path": f"{100 * self.max_path_error:.2f}%",
+            "mean_gate": f"{100 * self.mean_gate_error:.2f}%",
+            "max_gate": f"{100 * self.max_gate_error:.2f}%",
+        }
+
+
+def relative_error(estimate: float, golden: float) -> float:
+    if golden == 0:
+        raise ValueError("golden delay is zero")
+    return abs(estimate - golden) / abs(golden)
+
+
+def error_stats(
+    path_pairs: Sequence[tuple],
+    gate_pairs: Sequence[tuple],
+) -> ErrorStats:
+    """Build stats from (estimate, golden) pairs.
+
+    ``path_pairs`` compares whole-path delays, ``gate_pairs`` compares
+    per-gate stage delays (the paper reports both granularities).
+    """
+    path_errors = [relative_error(e, g) for e, g in path_pairs]
+    gate_errors = [relative_error(e, g) for e, g in gate_pairs]
+    if not path_errors or not gate_errors:
+        raise ValueError("need at least one path and one gate sample")
+    return ErrorStats(
+        mean_path_error=sum(path_errors) / len(path_errors),
+        max_path_error=max(path_errors),
+        mean_gate_error=sum(gate_errors) / len(gate_errors),
+        max_gate_error=max(gate_errors),
+        n_paths=len(path_errors),
+        n_gates=len(gate_errors),
+    )

@@ -1,0 +1,152 @@
+"""Command-line experiment driver.
+
+Regenerates the paper's tables from the terminal::
+
+    python -m repro.eval.run --experiment tables12
+    python -m repro.eval.run --experiment tables34 --steps 300
+    python -m repro.eval.run --experiment table5 --tech 130nm
+    python -m repro.eval.run --experiment table6 --tech 90nm --circuits c17 c432
+    python -m repro.eval.run --experiment accuracy --tech 65nm
+
+The first run per technology characterizes the library (a few minutes);
+results are cached on disk afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.charlib.characterize import CharacterizationGrid, characterize_library
+from repro.gates.library import default_library
+from repro.tech.presets import TECHNOLOGIES
+
+
+def _charlibs(tech, grid=None):
+    library = default_library()
+    poly = characterize_library(library, tech, grid=grid, model="polynomial",
+                                vector_mode="all")
+    lut = characterize_library(library, tech, grid=grid, model="lut",
+                               vector_mode="default")
+    return poly, lut
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--experiment",
+        required=True,
+        choices=["tables12", "tables34", "fig23", "table5", "table6",
+                 "accuracy", "simultaneous", "pvt", "gba"],
+    )
+    parser.add_argument("--tech", default="130nm", choices=list(TECHNOLOGIES))
+    parser.add_argument("--circuits", nargs="*", default=None)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="shrink suite circuits for quick runs")
+    parser.add_argument("--steps", type=int, default=400,
+                        help="transient steps per simulation window")
+    parser.add_argument("--paths", type=int, default=6,
+                        help="electrically simulated paths per circuit")
+    parser.add_argument("--max-dev-paths", type=int, default=20000)
+    parser.add_argument("--backtrack-limit", type=int, default=1000)
+    args = parser.parse_args(argv)
+
+    tech = TECHNOLOGIES[args.tech]
+
+    if args.experiment == "tables12":
+        from repro.eval import exp_tables12
+
+        print(exp_tables12.run()["text"])
+        return 0
+    if args.experiment == "tables34":
+        from repro.eval import exp_tables34
+
+        print(exp_tables34.run(steps_per_window=args.steps)["text"])
+        return 0
+    if args.experiment == "fig23":
+        from repro.eval import exp_fig23
+
+        print(exp_fig23.run(tech=tech)["text"])
+        return 0
+    if args.experiment == "simultaneous":
+        from repro.eval import exp_simultaneous
+
+        print(exp_simultaneous.skew_sweep(tech,
+                                          steps_per_window=args.steps)["text"])
+        return 0
+    if args.experiment == "pvt":
+        from repro.eval.exp_pvt import characterize_pvt, corner_analysis
+        from repro.eval.fig4 import fig4_circuit
+
+        cells = ["INV", "BUF", "NAND2", "AND2", "AO22"]
+        charlib = characterize_pvt(tech, cells, steps_per_window=args.steps)
+        print(corner_analysis(fig4_circuit(), charlib, tech)["text"])
+        return 0
+
+    poly, lut = _charlibs(tech)
+    if args.experiment == "table5":
+        from repro.eval import exp_table5
+
+        print(exp_table5.run(tech, poly, lut, steps_per_window=args.steps)["text"])
+        return 0
+    if args.experiment == "table6":
+        from repro.eval import exp_table6
+
+        print(
+            exp_table6.run(
+                poly,
+                lut,
+                circuits=args.circuits,
+                scale=args.scale,
+                backtrack_limit=args.backtrack_limit,
+                max_dev_paths=args.max_dev_paths,
+            )["text"]
+        )
+        return 0
+    if args.experiment == "gba":
+        from repro.core.graphsta import GraphSTA, gba_pessimism
+        from repro.core.sta import TruePathSTA
+        from repro.eval.iscas import build_circuit
+        from repro.eval.tables import render_table
+
+        rows = []
+        for name in (args.circuits or ["c432", "c880a"]):
+            circuit = build_circuit(name, scale=args.scale)
+            gba = GraphSTA(circuit, poly).run()
+            paths = TruePathSTA(circuit, poly).enumerate_paths(
+                max_paths=args.max_dev_paths
+            )
+            comparison = gba_pessimism(gba, paths)
+            for endpoint, row in sorted(comparison.items()):
+                rows.append([
+                    name, endpoint,
+                    f"{row['gba'] * 1e12:.1f}",
+                    f"{row['true'] * 1e12:.1f}",
+                    f"{row['pessimism'] * 100:+.1f}%",
+                ])
+        print(render_table(
+            ["circuit", "endpoint", "GBA (ps)", "true worst (ps)",
+             "pessimism"], rows,
+            title="Graph-based vs true-path endpoint arrivals",
+        ))
+        return 0
+    if args.experiment == "accuracy":
+        from repro.eval import exp_accuracy
+
+        print(
+            exp_accuracy.run(
+                tech,
+                poly,
+                lut,
+                circuits=args.circuits,
+                scale=args.scale,
+                paths_per_circuit=args.paths,
+                steps_per_window=args.steps,
+            )["text"]
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (all cells stringified)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for k, cell in enumerate(row):
+            if k < len(widths):
+                widths[k] = max(widths[k], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[k]) for k, c in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_dict_rows(rows: List[Dict[str, object]], title: Optional[str] = None) -> str:
+    """Render homogeneous dict rows (keys of the first row are the
+    column order)."""
+    if not rows:
+        return title or "(empty)"
+    headers = list(rows[0])
+    return render_table(headers, [[row.get(h, "") for h in headers] for row in rows],
+                        title=title)
+
+
+def format_ps(seconds: float) -> str:
+    return f"{seconds * 1e12:.2f}"
+
+
+def format_pct(fraction: float, signed: bool = True) -> str:
+    sign = "+" if signed else ""
+    return f"{fraction * 100:{sign}.2f}%"

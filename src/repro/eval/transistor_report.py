@@ -1,0 +1,155 @@
+"""Transistor-level current-path analysis (the paper's Figures 2-3).
+
+Figures 2 and 3 annotate each sensitization vector of AO22 (falling
+input A) and OA12 (rising input C) with the ON/OFF/switching state of
+every transistor and the resulting current paths.  This module derives
+the same annotation programmatically from the cell topology, and the
+associated benchmark checks the paper's causal claims (the fast case
+has the most parallel ON devices feeding the switching network; the
+charge-stealing device distinguishes cases 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gates.cell import Cell, SensitizationVector
+from repro.spice.topology import CellTopology, GND_NODE, VDD_NODE, build_topology
+from repro.tech.technology import Technology
+
+#: Device states in the figures' notation.
+ON = "on"          # solid arrow
+OFF = "off"        # solid cross
+TURNS_ON = "turns_on"    # dashed arrow
+TURNS_OFF = "turns_off"  # dashed cross
+
+
+@dataclass
+class DeviceState:
+    name: str
+    kind: str
+    gate: str
+    a: str
+    b: str
+    state: str
+
+
+@dataclass
+class VectorAnalysis:
+    """Transistor annotation of one (pin, vector, input edge)."""
+
+    cell_name: str
+    pin: str
+    vector_id: str
+    case: int
+    input_rising: bool
+    devices: List[DeviceState]
+
+    def on_count(self, kind: Optional[str] = None) -> int:
+        return sum(
+            1
+            for d in self.devices
+            if d.state == ON and (kind is None or d.kind == kind)
+        )
+
+    def describe(self) -> str:
+        header = (
+            f"{self.cell_name}.{self.pin} case {self.case} "
+            f"({'rising' if self.input_rising else 'falling'} input)"
+        )
+        lines = [header]
+        for d in self.devices:
+            lines.append(
+                f"  {d.name:5s} {d.kind}MOS gate={d.gate:6s} "
+                f"{d.a}<->{d.b}: {d.state}"
+            )
+        return "\n".join(lines)
+
+
+def _pin_levels(cell: Cell, vector: SensitizationVector, pin_value: int) -> Dict[str, int]:
+    levels = dict(vector.side_values)
+    levels[vector.pin] = pin_value
+    return levels
+
+
+def _device_conducts(kind: str, gate_level: int) -> bool:
+    return gate_level == 1 if kind == "n" else gate_level == 0
+
+
+def _node_level(node: str, levels: Dict[str, int]) -> Optional[int]:
+    """Logic level of a transistor gate node, resolving the internal
+    inverted-input and core nodes where determinable."""
+    if node in levels:
+        return levels[node]
+    if node.endswith(tuple(f"_n{i}" for i in range(10))) or "_n" in node:
+        # internal inverted pin node: name starts with "<pin>_n"
+        pin = node.split("_n")[0]
+        if pin in levels:
+            return 1 - levels[pin]
+    return None
+
+
+def analyze_vector(
+    cell: Cell,
+    tech: Technology,
+    vector: SensitizationVector,
+    input_rising: bool,
+) -> VectorAnalysis:
+    """Annotate every device of the cell for one sensitization vector."""
+    topo = build_topology(cell, tech)
+    initial = _pin_levels(cell, vector, 0 if input_rising else 1)
+    final = _pin_levels(cell, vector, 1 if input_rising else 0)
+
+    # Resolve the core node Y (input of the output inverter) logically.
+    core = cell.core_function()
+
+    def core_level(levels: Dict[str, int]) -> int:
+        return core.eval([levels[p] for p in cell.inputs])
+
+    initial_nodes = dict(initial)
+    final_nodes = dict(final)
+    if cell.output_inverter:
+        initial_nodes["Y"] = core_level(initial)
+        final_nodes["Y"] = core_level(final)
+
+    devices: List[DeviceState] = []
+    for t in topo.transistors:
+        before = _node_level(t.gate, initial_nodes)
+        after = _node_level(t.gate, final_nodes)
+        if before is None or after is None:
+            state = OFF  # undeterminable internal node; not used in Figs 2-3
+        else:
+            conducts_before = _device_conducts(t.kind, before)
+            conducts_after = _device_conducts(t.kind, after)
+            if conducts_before and conducts_after:
+                state = ON
+            elif not conducts_before and not conducts_after:
+                state = OFF
+            elif conducts_after:
+                state = TURNS_ON
+            else:
+                state = TURNS_OFF
+        devices.append(DeviceState(t.name, t.kind, t.gate, t.a, t.b, state))
+    return VectorAnalysis(
+        cell_name=cell.name,
+        pin=vector.pin,
+        vector_id=vector.vector_id,
+        case=vector.case,
+        input_rising=input_rising,
+        devices=devices,
+    )
+
+
+def parallel_on_devices(analysis: VectorAnalysis, through_pin: str) -> int:
+    """Count steady-ON devices of the network that must source/sink the
+    switching current (same MOS kind as the device gated by the
+    sensitized pin that turns on)."""
+    switching = [
+        d for d in analysis.devices
+        if d.gate == through_pin and d.state in (TURNS_ON, TURNS_OFF)
+    ]
+    if not switching:
+        return 0
+    kind = switching[0].kind
+    return analysis.on_count(kind)

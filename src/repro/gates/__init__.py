@@ -1,0 +1,21 @@
+"""Standard-cell library substrate.
+
+Boolean functions (:mod:`repro.gates.logic`), cell definitions with
+per-pin sensitization-vector enumeration (:mod:`repro.gates.cell`,
+:mod:`repro.gates.sensitization`) and the default library of primitive
+and complex gates (:mod:`repro.gates.library`).
+"""
+
+from repro.gates.logic import BoolFunc, X
+from repro.gates.cell import Cell, SensitizationVector
+from repro.gates.library import Library, default_library, sized_library
+
+__all__ = [
+    "BoolFunc",
+    "Cell",
+    "Library",
+    "SensitizationVector",
+    "X",
+    "default_library",
+    "sized_library",
+]

@@ -1,0 +1,296 @@
+"""Boolean functions represented as truth-table bitmasks.
+
+A :class:`BoolFunc` over ``n`` inputs stores its truth table as an
+integer bitmask: bit ``i`` holds ``f(b)`` where ``b`` is the input tuple
+whose bit ``k`` is ``(i >> k) & 1`` (input 0 is the least significant
+position).  With at most a handful of inputs per standard cell this
+representation makes cofactoring, boolean difference, sensitization
+analysis and cube (partial assignment) enumeration trivial and exact.
+
+The module also provides three-valued evaluation, where the third value
+``X`` (encoded as :data:`X`, i.e. ``None``) means *unknown*.  Three-valued
+evaluation is the workhorse of the implication engine in
+:mod:`repro.core`: ``f`` evaluates to 0 or 1 under partial inputs exactly
+when every completion of the unknowns agrees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The unknown value of three-valued logic.
+X = None
+
+#: A three-valued logic level: ``0``, ``1`` or :data:`X` (``None``).
+TriValue = Optional[int]
+
+
+class BoolFunc:
+    """An ``n``-input boolean function backed by a truth-table bitmask.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of inputs (0 to 6; standard cells use at most 4 or 5).
+    table:
+        Bitmask with ``2**num_inputs`` significant bits; bit ``i`` is the
+        function value for the input minterm ``i``.
+    """
+
+    __slots__ = ("num_inputs", "table", "_minterm_count")
+
+    MAX_INPUTS = 6
+
+    def __init__(self, num_inputs: int, table: int):
+        if not 0 <= num_inputs <= self.MAX_INPUTS:
+            raise ValueError(f"num_inputs must be in [0, {self.MAX_INPUTS}], got {num_inputs}")
+        size = 1 << num_inputs
+        if not 0 <= table < (1 << size):
+            raise ValueError(f"table 0x{table:x} out of range for {num_inputs} inputs")
+        self.num_inputs = num_inputs
+        self.table = table
+        self._minterm_count = size
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_callable(cls, num_inputs: int, fn: Callable[..., int]) -> "BoolFunc":
+        """Build a function by evaluating ``fn`` on every input minterm."""
+        table = 0
+        for i in range(1 << num_inputs):
+            bits = tuple((i >> k) & 1 for k in range(num_inputs))
+            if fn(*bits):
+                table |= 1 << i
+        return cls(num_inputs, table)
+
+    @classmethod
+    def constant(cls, num_inputs: int, value: int) -> "BoolFunc":
+        """The constant-0 or constant-1 function of ``num_inputs`` inputs."""
+        size = 1 << num_inputs
+        return cls(num_inputs, (1 << size) - 1 if value else 0)
+
+    @classmethod
+    def projection(cls, num_inputs: int, index: int) -> "BoolFunc":
+        """The function ``f(x) = x[index]``."""
+        if not 0 <= index < num_inputs:
+            raise ValueError("projection index out of range")
+        return cls.from_callable(num_inputs, lambda *bits: bits[index])
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval(self, inputs: Sequence[int]) -> int:
+        """Evaluate under fully-specified binary ``inputs``."""
+        if len(inputs) != self.num_inputs:
+            raise ValueError(f"expected {self.num_inputs} inputs, got {len(inputs)}")
+        index = 0
+        for k, bit in enumerate(inputs):
+            if bit not in (0, 1):
+                raise ValueError(f"input {k} is {bit!r}; use eval3 for unknowns")
+            index |= bit << k
+        return (self.table >> index) & 1
+
+    def eval3(self, inputs: Sequence[TriValue]) -> TriValue:
+        """Three-valued evaluation under possibly-unknown inputs.
+
+        Returns 0 or 1 when every completion of the unknown inputs yields
+        that value, and :data:`X` otherwise.
+        """
+        if len(inputs) != self.num_inputs:
+            raise ValueError(f"expected {self.num_inputs} inputs, got {len(inputs)}")
+        unknown = [k for k, v in enumerate(inputs) if v is X]
+        base = 0
+        for k, v in enumerate(inputs):
+            if v is not X and v:
+                base |= 1 << k
+        if not unknown:
+            return (self.table >> base) & 1
+        # Fold over completions; bail out as soon as both values are seen.
+        seen0 = seen1 = False
+        for combo in range(1 << len(unknown)):
+            index = base
+            for j, k in enumerate(unknown):
+                if (combo >> j) & 1:
+                    index |= 1 << k
+            if (self.table >> index) & 1:
+                seen1 = True
+            else:
+                seen0 = True
+            if seen0 and seen1:
+                return X
+        return 1 if seen1 else 0
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def cofactor(self, index: int, value: int) -> "BoolFunc":
+        """Restrict input ``index`` to ``value`` (result keeps arity ``n-1``)."""
+        if not 0 <= index < self.num_inputs:
+            raise ValueError("cofactor index out of range")
+        n = self.num_inputs - 1
+        table = 0
+        for i in range(1 << n):
+            low = i & ((1 << index) - 1)
+            high = i >> index
+            full = low | (value << index) | (high << (index + 1))
+            if (self.table >> full) & 1:
+                table |= 1 << i
+        return BoolFunc(n, table)
+
+    def boolean_difference(self, index: int) -> "BoolFunc":
+        """``df/dx = f(x=0) XOR f(x=1)`` as a function of the other inputs."""
+        f0 = self.cofactor(index, 0)
+        f1 = self.cofactor(index, 1)
+        return BoolFunc(f0.num_inputs, f0.table ^ f1.table)
+
+    def depends_on(self, index: int) -> bool:
+        """Whether the function actually depends on input ``index``."""
+        return self.boolean_difference(index).table != 0
+
+    def support(self) -> List[int]:
+        """Indices of inputs the function depends on."""
+        return [k for k in range(self.num_inputs) if self.depends_on(k)]
+
+    def is_inverting_at(self, index: int, side_values: Dict[int, int]) -> bool:
+        """Polarity of the sensitized arc from input ``index`` to the output.
+
+        Given side-input ``side_values`` that sensitize ``index`` (i.e. the
+        boolean difference is 1 for every completion consistent with them),
+        returns ``True`` when the output is the *complement* of the input.
+
+        Raises :class:`ValueError` if the assignment does not sensitize the
+        input or leaves the polarity ambiguous.
+        """
+        polarity = None
+        others = [k for k in range(self.num_inputs) if k != index]
+        free = [k for k in others if k not in side_values]
+        for combo in range(1 << len(free)):
+            assign = dict(side_values)
+            for j, k in enumerate(free):
+                assign[k] = (combo >> j) & 1
+            lo = [0] * self.num_inputs
+            hi = [0] * self.num_inputs
+            for k in others:
+                lo[k] = hi[k] = assign[k]
+            lo[index], hi[index] = 0, 1
+            v0, v1 = self.eval(lo), self.eval(hi)
+            if v0 == v1:
+                raise ValueError("assignment does not sensitize the input")
+            inv = v0 == 1  # input 0 -> output 1 means inverting
+            if polarity is None:
+                polarity = inv
+            elif polarity != inv:
+                raise ValueError("ambiguous polarity under free side inputs")
+        assert polarity is not None
+        return polarity
+
+    # ------------------------------------------------------------------
+    # Sensitization and justification support
+    # ------------------------------------------------------------------
+    def sensitizing_assignments(self, index: int) -> List[Dict[int, int]]:
+        """All full side-input assignments that sensitize input ``index``.
+
+        Each returned dict maps every *other* input index to 0/1 such that
+        toggling input ``index`` toggles the output.  These are exactly the
+        rows of the paper's "propagation tables" (Tables 1 and 2).
+        """
+        diff = self.boolean_difference(index)
+        others = [k for k in range(self.num_inputs) if k != index]
+        result = []
+        for i in range(1 << diff.num_inputs):
+            if (diff.table >> i) & 1:
+                result.append({k: (i >> j) & 1 for j, k in enumerate(others)})
+        return result
+
+    def justification_cubes(self, value: int) -> List[Dict[int, int]]:
+        """Minimal partial assignments forcing the output to ``value``.
+
+        A cube is a dict ``{input_index: 0/1}`` such that the function
+        evaluates to ``value`` for every completion, and no proper subset
+        of the cube has that property.  Cubes are returned smallest first
+        (fewest literals), which is the "easiest to justify" order.
+        """
+        cubes: List[Dict[int, int]] = []
+        n = self.num_inputs
+        indices = list(range(n))
+        for size in range(n + 1):
+            for subset in itertools.combinations(indices, size):
+                for bits in itertools.product((0, 1), repeat=size):
+                    cube = dict(zip(subset, bits))
+                    if any(self._subsumes(prev, cube) for prev in cubes):
+                        continue
+                    inputs: List[TriValue] = [cube.get(k, X) for k in range(n)]
+                    if self.eval3(inputs) == value:
+                        cubes.append(cube)
+        return cubes
+
+    @staticmethod
+    def _subsumes(small: Dict[int, int], big: Dict[int, int]) -> bool:
+        """Whether cube ``small`` covers cube ``big`` (is a sub-assignment)."""
+        return all(k in big and big[k] == v for k, v in small.items())
+
+    # ------------------------------------------------------------------
+    # Combinators (used by the technology mapper and the tests)
+    # ------------------------------------------------------------------
+    def compose_not(self) -> "BoolFunc":
+        """The complement function."""
+        mask = (1 << self._minterm_count) - 1
+        return BoolFunc(self.num_inputs, self.table ^ mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolFunc):
+            return NotImplemented
+        return self.num_inputs == other.num_inputs and self.table == other.table
+
+    def __hash__(self) -> int:
+        return hash((self.num_inputs, self.table))
+
+    def __repr__(self) -> str:
+        digits = max(1, (self._minterm_count + 3) // 4)
+        return f"BoolFunc({self.num_inputs}, 0x{self.table:0{digits}x})"
+
+
+# ----------------------------------------------------------------------
+# Three-valued helpers used across the package
+# ----------------------------------------------------------------------
+def and3(values: Iterable[TriValue]) -> TriValue:
+    """Three-valued AND: 0 dominates, X propagates otherwise."""
+    out: TriValue = 1
+    for v in values:
+        if v == 0:
+            return 0
+        if v is X:
+            out = X
+    return out
+
+
+def or3(values: Iterable[TriValue]) -> TriValue:
+    """Three-valued OR: 1 dominates, X propagates otherwise."""
+    out: TriValue = 0
+    for v in values:
+        if v == 1:
+            return 1
+        if v is X:
+            out = X
+    return out
+
+
+def not3(value: TriValue) -> TriValue:
+    """Three-valued NOT."""
+    if value is X:
+        return X
+    return 1 - value
+
+
+def merge3(a: TriValue, b: TriValue) -> Tuple[bool, TriValue]:
+    """Combine two pieces of knowledge about the same node.
+
+    Returns ``(ok, merged)`` where ``ok`` is False on a 0/1 conflict.
+    """
+    if a is X:
+        return True, b
+    if b is X or a == b:
+        return True, a
+    return False, a

@@ -1,0 +1,23 @@
+"""Netlist infrastructure.
+
+Circuit graphs (:mod:`repro.netlist.circuit`), ISCAS ``.bench`` and
+structural-Verilog I/O (:mod:`repro.netlist.bench`,
+:mod:`repro.netlist.verilog`), levelization utilities
+(:mod:`repro.netlist.levelize`), technology mapping onto complex gates
+(:mod:`repro.netlist.techmap`) and benchmark-circuit generators
+(:mod:`repro.netlist.generate`).
+"""
+
+from repro.netlist.circuit import Circuit, Instance, Net
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.levelize import levelize, logic_depth
+
+__all__ = [
+    "Circuit",
+    "Instance",
+    "Net",
+    "levelize",
+    "logic_depth",
+    "parse_bench",
+    "write_bench",
+]

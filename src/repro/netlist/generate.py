@@ -1,0 +1,386 @@
+"""Benchmark-circuit generators.
+
+The paper evaluates on the ISCAS-85 suite synthesized onto complex-gate
+libraries.  The original synthesized netlists are not redistributable,
+so this module provides (see DESIGN.md section 4):
+
+* the genuine ``c17`` (:func:`c17`);
+* structural generators for circuits whose function is documented --
+  a carry-save **array multiplier** (c6288 is a 16x16 one), **ripple
+  adders**, **parity/ECC trees** (c499/c1355 are 32-bit SEC circuits)
+  and a small **ALU slice** (c880 is an 8-bit ALU);
+* a seeded **random mapped DAG** generator calibrated to arbitrary
+  gate/IO counts for the remaining circuits.
+
+All generators return primitive-gate circuits; callers run
+:func:`repro.netlist.techmap.techmap` to obtain the complex-gate
+versions used in the experiments (the ISCAS suite wrapper in
+:mod:`repro.eval.iscas` does this automatically).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gates.library import Library, default_library
+from repro.netlist.bench import C17_BENCH, parse_bench
+from repro.netlist.circuit import Circuit
+
+
+def c17(library: Optional[Library] = None) -> Circuit:
+    """The genuine ISCAS-85 c17 netlist (6 NAND2 gates)."""
+    return parse_bench(C17_BENCH, name="c17", library=library)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic building blocks
+# ----------------------------------------------------------------------
+def _half_adder(c: Circuit, a: str, b: str, s: str, cout: str) -> None:
+    c.add_gate("XOR2", s, {"A": a, "B": b})
+    c.add_gate("AND2", cout, {"A": a, "B": b})
+
+
+def _full_adder(c: Circuit, a: str, b: str, cin: str, s: str, cout: str,
+                tag: str) -> None:
+    p = f"{tag}_p"
+    g = f"{tag}_g"
+    t = f"{tag}_t"
+    c.add_gate("XOR2", p, {"A": a, "B": b})
+    c.add_gate("XOR2", s, {"A": p, "B": cin})
+    c.add_gate("AND2", g, {"A": a, "B": b})
+    c.add_gate("AND2", t, {"A": p, "B": cin})
+    c.add_gate("OR2", cout, {"A": g, "B": t})
+
+
+def ripple_adder(width: int, library: Optional[Library] = None) -> Circuit:
+    """``width``-bit ripple-carry adder: A + B + Cin -> S, Cout."""
+    c = Circuit(f"rca{width}", library or default_library())
+    for i in range(width):
+        c.add_input(f"A{i}")
+        c.add_input(f"B{i}")
+    c.add_input("CIN")
+    carry = "CIN"
+    for i in range(width):
+        s, cout = f"S{i}", f"C{i + 1}"
+        _full_adder(c, f"A{i}", f"B{i}", carry, s, cout, tag=f"fa{i}")
+        c.add_output(s)
+        carry = cout
+    c.add_output(carry)
+    c.check()
+    return c
+
+
+def array_multiplier(width: int, library: Optional[Library] = None) -> Circuit:
+    """Carry-save array multiplier (c6288 is the 16x16 instance).
+
+    Row ``j`` adds partial products ``A_i * B_j`` into a running sum with
+    half/full adders; the final row carries ripple out.  Gate count for
+    width ``w`` is roughly ``6*w**2``, i.e. ~1,500 gates at w=16 before
+    mapping, with the long multiplier-style carry chains that make c6288
+    the classic deep-path benchmark.
+    """
+    w = width
+    c = Circuit(f"mul{w}x{w}", library or default_library())
+    for i in range(w):
+        c.add_input(f"A{i}")
+    for j in range(w):
+        c.add_input(f"B{j}")
+
+    def pp(i: int, j: int) -> str:
+        name = f"pp_{i}_{j}"
+        if name not in c.nets or c.nets[name].driver is None:
+            c.add_gate("AND2", name, {"A": f"A{i}", "B": f"B{j}"})
+        return name
+
+    # sums[i] holds the running sum bit of weight i for the current row.
+    sums: List[Optional[str]] = [None] * (2 * w)
+    carries: List[Optional[str]] = [None] * (2 * w)
+    for i in range(w):  # row 0: raw partial products A_i * B_0
+        sums[i] = pp(i, 0)
+    c.add_output("P0")
+    c.add_gate("BUF", "P0", {"A": sums[0]})
+
+    for j in range(1, w):
+        new_sums: List[Optional[str]] = [None] * (2 * w)
+        new_carries: List[Optional[str]] = [None] * (2 * w)
+        for i in range(w):
+            weight = i + j
+            product = pp(i, j)
+            prev_sum = sums[weight] if weight < 2 * w else None
+            prev_carry = carries[weight - 1] if weight >= 1 else None
+            operands = [x for x in (product, prev_sum, prev_carry) if x]
+            tag = f"r{j}_w{weight}"
+            if len(operands) == 1:
+                new_sums[weight] = operands[0]
+            elif len(operands) == 2:
+                s, co = f"{tag}_s", f"{tag}_c"
+                _half_adder(c, operands[0], operands[1], s, co)
+                new_sums[weight], new_carries[weight] = s, co
+            else:
+                s, co = f"{tag}_s", f"{tag}_c"
+                _full_adder(c, operands[0], operands[1], operands[2], s, co, tag)
+                new_sums[weight], new_carries[weight] = s, co
+        # Weights below the current row pass through unchanged.
+        for weight in range(j):
+            new_sums[weight] = sums[weight]
+            new_carries[weight] = carries[weight]
+        sums, carries = new_sums, new_carries
+        c.add_gate("BUF", f"P{j}", {"A": sums[j]})
+        c.add_output(f"P{j}")
+
+    # Final ripple merge of remaining sums and carries.
+    carry: Optional[str] = None
+    for weight in range(w, 2 * w):
+        operands = [
+            x
+            for x in (sums[weight], carries[weight - 1], carry)
+            if x is not None
+        ]
+        tag = f"fin_w{weight}"
+        out = f"P{weight}"
+        if not operands:
+            break
+        if len(operands) == 1:
+            c.add_gate("BUF", out, {"A": operands[0]})
+            carry = None
+        elif len(operands) == 2:
+            co = f"{tag}_c"
+            _half_adder(c, operands[0], operands[1], out, co)
+            carry = co
+        else:
+            co = f"{tag}_c"
+            _full_adder(c, operands[0], operands[1], operands[2], out, co, tag)
+            carry = co
+        c.add_output(out)
+    c.check()
+    return c
+
+
+def parity_tree(width: int, library: Optional[Library] = None) -> Circuit:
+    """Balanced XOR parity tree over ``width`` inputs."""
+    c = Circuit(f"parity{width}", library or default_library())
+    nets = []
+    for i in range(width):
+        c.add_input(f"D{i}")
+        nets.append(f"D{i}")
+    counter = 0
+    while len(nets) > 1:
+        next_nets = []
+        for i in range(0, len(nets) - 1, 2):
+            out = f"x{counter}"
+            counter += 1
+            c.add_gate("XOR2", out, {"A": nets[i], "B": nets[i + 1]})
+            next_nets.append(out)
+        if len(nets) % 2:
+            next_nets.append(nets[-1])
+        nets = next_nets
+    c.add_gate("BUF", "PARITY", {"A": nets[0]})
+    c.add_output("PARITY")
+    c.check()
+    return c
+
+
+def ecc_corrector(data_bits: int = 32, library: Optional[Library] = None) -> Circuit:
+    """Single-error-correcting checker in the style of c499/c1355.
+
+    Inputs are ``data_bits`` data bits plus ``r`` Hamming check bits;
+    outputs are the corrected data bits.  Syndrome bits are XOR parity
+    trees; the corrector XORs each data bit with an AND-decode of the
+    syndrome -- the same two-level parity/decode structure as the ISCAS
+    originals.
+    """
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    c = Circuit(f"ecc{data_bits}", library or default_library())
+    for i in range(data_bits):
+        c.add_input(f"D{i}")
+    for j in range(r):
+        c.add_input(f"P{j}")
+
+    # Hamming positions 1..n, data in non-power-of-two slots.
+    positions: Dict[int, str] = {}
+    data_index = 0
+    pos = 1
+    while data_index < data_bits:
+        if pos & (pos - 1):  # not a power of two
+            positions[pos] = f"D{data_index}"
+            data_index += 1
+        pos += 1
+
+    syndrome_nets = []
+    for j in range(r):
+        members = [net for p, net in positions.items() if p & (1 << j)]
+        members.append(f"P{j}")
+        nets = members
+        counter = 0
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                out = f"s{j}_x{counter}"
+                counter += 1
+                c.add_gate("XOR2", out, {"A": nets[i], "B": nets[i + 1]})
+                nxt.append(out)
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        syn = f"SYN{j}"
+        c.add_gate("BUF", syn, {"A": nets[0]})
+        syndrome_nets.append(syn)
+
+    # Inverted syndrome bits for the decoders.
+    for j, syn in enumerate(syndrome_nets):
+        c.add_gate("INV", f"{syn}_n", {"A": syn})
+
+    for p, net in positions.items():
+        literals = [
+            syndrome_nets[j] if p & (1 << j) else f"{syndrome_nets[j]}_n"
+            for j in range(r)
+        ]
+        # AND-tree decode of this position's syndrome pattern.
+        nets = literals
+        counter = 0
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets), 4):
+                chunk = nets[i : i + 4]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                    continue
+                out = f"dec{p}_a{counter}"
+                counter += 1
+                c.add_gate(f"AND{len(chunk)}", out, dict(zip("ABCD", chunk)))
+                nxt.append(out)
+            nets = nxt
+        flip = nets[0]
+        out = f"Q{net[1:]}"
+        c.add_gate("XOR2", out, {"A": net, "B": flip})
+        c.add_output(out)
+    c.check()
+    return c
+
+
+def alu_slice(width: int = 8, library: Optional[Library] = None) -> Circuit:
+    """A small ALU in the spirit of c880: add / AND / OR / XOR selected
+    by two control bits through MUX trees, with a ripple carry chain."""
+    c = Circuit(f"alu{width}", library or default_library())
+    for i in range(width):
+        c.add_input(f"A{i}")
+        c.add_input(f"B{i}")
+    c.add_input("CIN")
+    c.add_input("S0")
+    c.add_input("S1")
+    carry = "CIN"
+    for i in range(width):
+        a, b = f"A{i}", f"B{i}"
+        c.add_gate("AND2", f"and{i}", {"A": a, "B": b})
+        c.add_gate("OR2", f"or{i}", {"A": a, "B": b})
+        c.add_gate("XOR2", f"xor{i}", {"A": a, "B": b})
+        # adder bit
+        s, cout = f"sum{i}", f"c{i + 1}"
+        _full_adder(c, a, b, carry, s, cout, tag=f"fa{i}")
+        carry = cout
+        # result mux: S1 picks (arith, logic), S0 picks within
+        c.add_gate("MUX2", f"mlo{i}", {"A": s, "B": f"and{i}", "S": "S0"})
+        c.add_gate("MUX2", f"mhi{i}", {"A": f"or{i}", "B": f"xor{i}", "S": "S0"})
+        c.add_gate("MUX2", f"F{i}", {"A": f"mlo{i}", "B": f"mhi{i}", "S": "S1"})
+        c.add_output(f"F{i}")
+    c.add_gate("BUF", "COUT", {"A": carry})
+    c.add_output("COUT")
+    c.check()
+    return c
+
+
+# ----------------------------------------------------------------------
+# Random mapped DAGs
+# ----------------------------------------------------------------------
+#: (cell family, weight) per fan-in, loosely following ISCAS-85 cell mixes.
+_FANIN_WEIGHTS: Dict[int, List[Tuple[str, float]]] = {
+    1: [("INV", 0.85), ("BUF", 0.15)],
+    2: [
+        ("NAND2", 0.35),
+        ("NOR2", 0.2),
+        ("AND2", 0.15),
+        ("OR2", 0.15),
+        ("XOR2", 0.15),
+    ],
+    3: [("NAND3", 0.4), ("NOR3", 0.25), ("AND3", 0.2), ("OR3", 0.15)],
+    4: [("NAND4", 0.4), ("NOR4", 0.25), ("AND4", 0.2), ("OR4", 0.15)],
+}
+
+_FANIN_DIST = [(1, 0.25), (2, 0.55), (3, 0.13), (4, 0.07)]
+
+
+def _weighted(rng: random.Random, table: Sequence[Tuple[object, float]]):
+    total = sum(w for _v, w in table)
+    pick = rng.random() * total
+    for value, weight in table:
+        pick -= weight
+        if pick <= 0:
+            return value
+    return table[-1][0]
+
+
+def random_dag(
+    name: str,
+    n_inputs: int,
+    n_gates: int,
+    seed: int,
+    n_outputs: Optional[int] = None,
+    locality: int = 64,
+    library: Optional[Library] = None,
+) -> Circuit:
+    """Seeded random combinational DAG with an ISCAS-like cell mix.
+
+    Gates are created in topological order; each input is drawn either
+    from the most recent ``locality`` nets (builds depth) or, with some
+    probability, from the pool of not-yet-read nets (bounds the number
+    of dangling nets).  Every net left unread at the end becomes a
+    primary output, so the circuit has no dead logic; ``n_outputs`` is a
+    soft target controlling how aggressively the generator consumes the
+    unread pool.
+    """
+    rng = random.Random(seed)
+    c = Circuit(name, library or default_library())
+    nets: List[str] = []
+    unread: set = set()
+    for i in range(n_inputs):
+        net = f"I{i}"
+        c.add_input(net)
+        nets.append(net)
+        unread.add(net)
+    target_outputs = n_outputs if n_outputs is not None else max(1, n_inputs // 2)
+
+    for g in range(n_gates):
+        fanin = _weighted(rng, _FANIN_DIST)
+        fanin = min(fanin, len(nets))
+        remaining = n_gates - g
+        # Consume unread nets more aggressively as the surplus grows.
+        surplus = len(unread) - target_outputs
+        p_consume = min(0.9, max(0.1, surplus / max(remaining, 1)))
+        chosen: List[str] = []
+        for _ in range(fanin):
+            pool = [n for n in unread if n not in chosen]
+            if pool and rng.random() < p_consume:
+                chosen.append(rng.choice(sorted(pool)))
+            else:
+                lo = max(0, len(nets) - locality)
+                candidate = nets[rng.randrange(lo, len(nets))]
+                if candidate in chosen:
+                    candidate = nets[rng.randrange(lo, len(nets))]
+                if candidate not in chosen:
+                    chosen.append(candidate)
+        fanin = len(chosen)
+        cell = _weighted(rng, _FANIN_WEIGHTS[fanin])
+        out = f"n{g}"
+        c.add_gate(cell, out, dict(zip("ABCD", chosen)))
+        nets.append(out)
+        unread.add(out)
+        for net in chosen:
+            unread.discard(net)
+
+    for net in sorted(unread):
+        c.add_output(net)
+    c.check()
+    return c

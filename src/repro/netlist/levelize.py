@@ -1,0 +1,66 @@
+"""Levelization and depth utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netlist.circuit import Circuit, Instance
+
+
+def levelize(circuit: Circuit) -> Dict[str, int]:
+    """Level of every net: primary inputs are 0, a gate output is one
+    more than its deepest input net."""
+    levels: Dict[str, int] = {name: 0 for name in circuit.inputs}
+    for inst in circuit.topological():
+        level = 0
+        for net_name in inst.pins.values():
+            level = max(level, levels.get(net_name, 0))
+        levels[inst.output_net] = level + 1
+    return levels
+
+
+def logic_depth(circuit: Circuit) -> int:
+    """Maximum gate count on any input-to-output topological path."""
+    if not circuit.instances:
+        return 0
+    levels = levelize(circuit)
+    return max((levels.get(out, 0) for out in circuit.outputs), default=0)
+
+
+def instances_by_level(circuit: Circuit) -> List[List[Instance]]:
+    """Instances grouped by output-net level (level 1 first)."""
+    levels = levelize(circuit)
+    depth = max((levels[i.output_net] for i in circuit.instances.values()), default=0)
+    groups: List[List[Instance]] = [[] for _ in range(depth)]
+    for inst in circuit.instances.values():
+        groups[levels[inst.output_net] - 1].append(inst)
+    return groups
+
+
+def fanin_cone(circuit: Circuit, net_name: str) -> List[str]:
+    """All net names in the transitive fanin of ``net_name`` (inclusive)."""
+    seen = set()
+    stack = [net_name]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        driver = circuit.nets[current].driver
+        if driver is not None:
+            stack.extend(driver.pins.values())
+    return sorted(seen)
+
+
+def fanout_cone(circuit: Circuit, net_name: str) -> List[str]:
+    """All net names in the transitive fanout of ``net_name`` (inclusive)."""
+    seen = set()
+    stack = [net_name]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for inst, _pin in circuit.nets[current].sinks:
+            stack.append(inst.output_net)
+    return sorted(seen)

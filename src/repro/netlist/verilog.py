@@ -1,0 +1,121 @@
+"""Structural Verilog reader and writer (gate-level subset).
+
+Supports the netlist style synthesis tools emit::
+
+    module top (N1, N2, Z);
+      input N1, N2;
+      output Z;
+      wire n10;
+      NAND2 U1 (.A(N1), .B(N2), .Z(n10));
+      INV U2 (.A(n10), .Z(Z));
+    endmodule
+
+Only named port connections are accepted (positional connections are
+ambiguous across vendor libraries and are rejected with a clear error).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.gates.library import Library, default_library
+from repro.netlist.circuit import Circuit
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
+_INST_RE = re.compile(r"(\w+)\s+(\w+)\s*\(([^;]*)\)\s*;", re.DOTALL)
+_PORT_RE = re.compile(r"\.(\w+)\s*\(\s*([\w.\[\]]+)\s*\)")
+
+
+class VerilogParseError(ValueError):
+    """Raised on unsupported or malformed structural Verilog."""
+
+
+def parse_verilog(
+    source: Union[str, TextIO], library: Optional[Library] = None
+) -> Circuit:
+    """Parse one structural module into a :class:`Circuit`."""
+    text = source.read() if hasattr(source, "read") else source
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    library = library or default_library()
+
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    name = module.group(1)
+    body_start = module.end()
+    body_end = text.find("endmodule", body_start)
+    if body_end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = text[body_start:body_end]
+
+    circuit = Circuit(name, library)
+    consumed_spans = []
+    for decl in _DECL_RE.finditer(body):
+        kind, nets = decl.groups()
+        consumed_spans.append(decl.span())
+        for net in (n.strip() for n in nets.split(",")):
+            if not net:
+                continue
+            if kind == "input":
+                circuit.add_input(net)
+            elif kind == "output":
+                circuit.add_output(net)
+            # wires are created implicitly on first use
+
+    # Remove declarations so the instance regex cannot match them.
+    chars = list(body)
+    for start, end in consumed_spans:
+        for k in range(start, end):
+            chars[k] = " "
+    body = "".join(chars)
+
+    for inst_match in _INST_RE.finditer(body):
+        cell_name, inst_name, ports = inst_match.groups()
+        if cell_name == "module":
+            continue
+        if cell_name not in library:
+            raise VerilogParseError(f"unknown cell {cell_name!r} (instance {inst_name})")
+        cell = library[cell_name]
+        if "." not in ports:
+            raise VerilogParseError(
+                f"instance {inst_name}: positional connections are not supported"
+            )
+        conns: Dict[str, str] = {}
+        output_net = None
+        for port, net in _PORT_RE.findall(ports):
+            if port == cell.output:
+                output_net = net
+            else:
+                conns[port] = net
+        if output_net is None:
+            raise VerilogParseError(f"instance {inst_name}: output pin not connected")
+        circuit.add_gate(cell, output_net, conns, name=inst_name)
+
+    circuit.check()
+    return circuit
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit (any cells of its library) to structural Verilog."""
+    ports = circuit.inputs + circuit.outputs
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+    wires = [
+        n
+        for n, net in circuit.nets.items()
+        if not net.is_input and not net.is_output
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(sorted(wires))};")
+    for inst in circuit.topological():
+        conns = [f".{p}({inst.pins[p]})" for p in inst.cell.inputs]
+        conns.append(f".{inst.cell.output}({inst.output_net})")
+        lines.append(f"  {inst.cell.name} {inst.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

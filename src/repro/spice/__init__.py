@@ -1,0 +1,22 @@
+"""Transistor-level electrical simulation substrate.
+
+This package stands in for the commercial SPICE (Spectre) runs of the
+paper: it builds the full static-CMOS transistor network of each cell
+(:mod:`repro.spice.topology`), integrates the nonlinear RC system with
+backward Euler and Newton iterations (:mod:`repro.spice.simulator`),
+measures delays and slews (:mod:`repro.spice.measure`) and chains cell
+simulations along circuit paths (:mod:`repro.spice.pathsim`).
+"""
+
+from repro.spice.topology import CellTopology, build_topology
+from repro.spice.cellsim import CellSimulator, PropagationResult, input_capacitance
+from repro.spice.pathsim import PathSimulator
+
+__all__ = [
+    "CellSimulator",
+    "CellTopology",
+    "PathSimulator",
+    "PropagationResult",
+    "build_topology",
+    "input_capacitance",
+]

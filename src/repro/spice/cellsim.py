@@ -1,0 +1,172 @@
+"""Cell-level delay measurement (the electrical "testbench").
+
+:class:`CellSimulator` applies a transition to one pin of a cell under a
+chosen sensitization vector, with every side input held at the vector's
+steady value, and measures propagation delay and output transition time.
+This is exactly the experiment behind the paper's Tables 3 and 4 and the
+source of all characterization data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.gates.cell import Cell, SensitizationVector
+from repro.spice import measure
+from repro.spice.simulator import TransientSolver, Waveform, constant, ramp, sampled
+from repro.spice.topology import CellTopology, build_topology
+from repro.tech.technology import Technology
+
+#: A full linear ramp of span S has a 10-90% transition time of 0.8*S.
+_RAMP_FULL_OVER_SLEW = 1.0 / 0.8
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of one cell transition measurement."""
+
+    delay: float
+    out_slew: float
+    out_rising: bool
+    times: np.ndarray
+    out_wave: np.ndarray
+    in_wave: np.ndarray
+
+    def output_waveform(self) -> Dict[str, np.ndarray]:
+        return {"times": self.times, "values": self.out_wave}
+
+
+def input_capacitance(cell: Cell, pin: str, tech: Technology) -> float:
+    """Equivalent input capacitance of ``pin`` (F).
+
+    Computed as the total gate capacitance tied to the pin -- identical
+    to the paper's method of integrating the input current over a
+    transition and dividing by VDD, because the input current of an
+    ideal-gate MOS model is exactly ``C_gate_total * dV/dt``.
+    """
+    topo = build_topology(cell, tech)
+    total = 0.0
+    for t in topo.transistors:
+        if t.gate == pin:
+            params = tech.nmos if t.kind == "n" else tech.pmos
+            total += params.c_gate * t.width
+    if total == 0.0:
+        raise ValueError(f"{cell.name}.{pin} gates no transistor")
+    return total
+
+
+def mean_input_capacitance(cell: Cell, tech: Technology) -> float:
+    """Average input capacitance over the cell's pins (used as the
+    denominator of the equivalent fanout, DESIGN.md S9)."""
+    return sum(input_capacitance(cell, p, tech) for p in cell.inputs) / len(cell.inputs)
+
+
+class CellSimulator:
+    """Measures cell propagation delays electrically.
+
+    One instance caches the cell topology; each call builds stimuli and
+    runs a fresh transient.  The simulation window auto-extends until
+    the output settles at its final rail.
+    """
+
+    def __init__(self, cell: Cell, tech: Technology, steps_per_window: int = 400):
+        self.cell = cell
+        self.tech = tech
+        self.steps = steps_per_window
+        self.topo: CellTopology = build_topology(cell, tech)
+
+    # ------------------------------------------------------------------
+    def propagation(
+        self,
+        pin: str,
+        vector: SensitizationVector,
+        input_rising: bool,
+        t_in: float,
+        c_load: float,
+        temp: float = 25.0,
+        vdd: Optional[float] = None,
+        input_waveform: Optional[Dict[str, np.ndarray]] = None,
+    ) -> PropagationResult:
+        """Measure a single transition.
+
+        Parameters
+        ----------
+        pin / vector:
+            The sensitized pin and which side-input vector to apply.
+        input_rising:
+            Direction of the input transition.
+        t_in:
+            10-90% input transition time (ignored when an explicit
+            ``input_waveform`` is supplied).
+        c_load:
+            Output load (F).
+        input_waveform:
+            Optional ``{"times", "values"}`` sampled waveform (used by
+            the path simulator to chain stages with real edges).
+        """
+        vdd_v = self.tech.vdd if vdd is None else vdd
+        if vector.pin != pin:
+            raise ValueError(f"vector {vector} does not sensitize pin {pin}")
+
+        forced: Dict[str, Waveform] = {}
+        for side_pin, value in vector.side_values.items():
+            forced[side_pin] = constant(vdd_v * value)
+
+        if input_waveform is not None:
+            times_in = np.asarray(input_waveform["times"])
+            values_in = np.asarray(input_waveform["values"])
+            forced[pin] = sampled(times_in, values_in)
+            ramp_end = float(times_in[-1])
+        else:
+            span = t_in * _RAMP_FULL_OVER_SLEW
+            start = 0.05 * span + 1e-12
+            v_from = 0.0 if input_rising else vdd_v
+            v_to = vdd_v - v_from
+            forced[pin] = ramp(v_from, v_to, start, span)
+            ramp_end = start + span
+
+        out_rising = input_rising ^ vector.inverting
+        target = vdd_v if out_rising else 0.0
+
+        window = max(4.0 * ramp_end, 2e-10)
+        for _attempt in range(6):
+            solver = TransientSolver(
+                self.topo, self.tech, forced, c_load=c_load, temp=temp, vdd=vdd_v
+            )
+            times, traces = solver.run(
+                window, dt=window / self.steps, record=[self.topo.output, pin]
+            )
+            out_wave = traces[self.topo.output]
+            if measure.settled(out_wave, target, 0.02 * vdd_v):
+                try:
+                    delay = measure.propagation_delay(
+                        times, traces[pin], out_wave, input_rising, out_rising, vdd_v
+                    )
+                    out_slew = measure.transition_time(
+                        times, out_wave, out_rising, vdd_v
+                    )
+                except measure.MeasurementError:
+                    window *= 2.0
+                    continue
+                return PropagationResult(
+                    delay=delay,
+                    out_slew=out_slew,
+                    out_rising=out_rising,
+                    times=times,
+                    out_wave=out_wave,
+                    in_wave=traces[pin],
+                )
+            window *= 2.0
+        raise measure.MeasurementError(
+            f"{self.cell.name}.{pin} {vector.vector_id}: output never settled"
+        )
+
+    # ------------------------------------------------------------------
+    def same_gate_load(self, pin: Optional[str] = None) -> float:
+        """Load presented by one instance of the same cell (Tables 3-4
+        load the gate "with a gate of the same type")."""
+        load_pin = pin or self.cell.inputs[0]
+        return input_capacitance(self.cell, load_pin, self.tech)

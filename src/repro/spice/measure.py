@@ -1,0 +1,85 @@
+"""Waveform measurements: threshold crossings, delay, transition time.
+
+Conventions (documented for the whole package):
+
+* **propagation delay** -- time between the 50%-VDD crossing of the
+  input and the 50%-VDD crossing of the output;
+* **transition time (slew)** -- time between the 10% and 90% VDD
+  crossings of a waveform (the value the delay model receives as
+  ``t_in``), so a full linear ramp of span S has slew 0.8*S.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+LOW_FRACTION = 0.1
+HIGH_FRACTION = 0.9
+
+
+class MeasurementError(RuntimeError):
+    """A waveform never crossed the requested threshold."""
+
+
+def cross_time(
+    times: np.ndarray,
+    wave: np.ndarray,
+    level: float,
+    rising: bool,
+    after: float = 0.0,
+) -> float:
+    """First time ``wave`` crosses ``level`` in the given direction,
+    linearly interpolated, at or after time ``after``."""
+    t = np.asarray(times)
+    v = np.asarray(wave)
+    if rising:
+        mask = (v[:-1] < level) & (v[1:] >= level)
+    else:
+        mask = (v[:-1] > level) & (v[1:] <= level)
+    mask &= t[1:] >= after
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        direction = "rising" if rising else "falling"
+        raise MeasurementError(f"no {direction} crossing of {level:.3g} V")
+    k = idx[0]
+    frac = (level - v[k]) / (v[k + 1] - v[k])
+    return float(t[k] + frac * (t[k + 1] - t[k]))
+
+
+def transition_time(times: np.ndarray, wave: np.ndarray, rising: bool,
+                    vdd: float, after: float = 0.0) -> float:
+    """10%-90% transition time of the first edge in the given direction."""
+    lo = LOW_FRACTION * vdd
+    hi = HIGH_FRACTION * vdd
+    if rising:
+        t_lo = cross_time(times, wave, lo, True, after)
+        t_hi = cross_time(times, wave, hi, True, t_lo)
+        return t_hi - t_lo
+    t_hi = cross_time(times, wave, hi, False, after)
+    t_lo = cross_time(times, wave, lo, False, t_hi)
+    return t_lo - t_hi
+
+
+def propagation_delay(
+    times: np.ndarray,
+    wave_in: np.ndarray,
+    wave_out: np.ndarray,
+    in_rising: bool,
+    out_rising: bool,
+    vdd: float,
+) -> float:
+    """50%-to-50% input-to-output delay of the first edges."""
+    mid = 0.5 * vdd
+    t_in = cross_time(times, wave_in, mid, in_rising)
+    t_out = cross_time(times, wave_out, mid, out_rising, after=0.0)
+    return t_out - t_in
+
+
+def settled(wave: np.ndarray, target: float, tolerance: float,
+            tail: int = 10) -> bool:
+    """Whether the last ``tail`` samples sit within ``tolerance`` of
+    ``target`` (used to auto-extend simulation windows)."""
+    tail_slice = np.asarray(wave)[-tail:]
+    return bool(np.all(np.abs(tail_slice - target) <= tolerance))

@@ -1,0 +1,308 @@
+"""Nonlinear transient solver for cell transistor networks.
+
+Nodal analysis with backward-Euler integration and Newton iterations.
+The networks are tiny (a dozen devices, fewer than ten unknowns), so a
+dense numpy solve per Newton step is both simple and fast.
+
+The device model is a symmetric long-channel quadratic MOSFET with a
+small channel-length-modulation term and a ``gmin`` leak for numerical
+conditioning.  PMOS devices reuse the NMOS equations through voltage
+mirroring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.topology import CellTopology, GND_NODE, VDD_NODE
+from repro.tech.technology import Technology
+
+#: Conditioning conductance from every unknown node to ground (S).
+GMIN = 1e-9
+#: Channel-length modulation.
+LAMBDA = 0.06
+#: Newton convergence threshold (V).
+NEWTON_TOL = 1e-4
+NEWTON_MAX_ITER = 25
+
+Waveform = Callable[[float], float]
+
+
+def ramp(v_from: float, v_to: float, t_start: float, span: float) -> Waveform:
+    """A linear ramp waveform (constant before/after)."""
+
+    def wave(t: float) -> float:
+        if t <= t_start:
+            return v_from
+        if t >= t_start + span:
+            return v_to
+        return v_from + (v_to - v_from) * (t - t_start) / span
+
+    return wave
+
+
+def constant(value: float) -> Waveform:
+    return lambda _t: value
+
+
+def sampled(times: Sequence[float], values: Sequence[float]) -> Waveform:
+    """Piecewise-linear waveform through sample points (clamped ends)."""
+    t_arr = np.asarray(times, dtype=float)
+    v_arr = np.asarray(values, dtype=float)
+
+    def wave(t: float) -> float:
+        return float(np.interp(t, t_arr, v_arr))
+
+    return wave
+
+
+class _Device:
+    """Pre-resolved transistor: node indices and evaluated parameters."""
+
+    __slots__ = ("kind", "gate_idx", "a_idx", "b_idx", "beta", "vt", "sign")
+
+    def __init__(self, kind: str, gate_idx: int, a_idx: int, b_idx: int,
+                 beta: float, vt: float):
+        self.kind = kind
+        self.gate_idx = gate_idx
+        self.a_idx = a_idx
+        self.b_idx = b_idx
+        self.beta = beta
+        self.vt = vt
+
+
+def _nmos_iv(vg: float, va: float, vb: float, beta: float, vt: float):
+    """Drain current a->b and partial derivatives (d/dvg, d/dva, d/dvb)."""
+    if va >= vb:
+        vd, vs, swap = va, vb, False
+    else:
+        vd, vs, swap = vb, va, True
+    vgs = vg - vs
+    vds = vd - vs
+    vov = vgs - vt
+    if vov <= 0.0:
+        ids = gm = gds = 0.0
+    elif vds <= vov:
+        ids = beta * (vov * vds - 0.5 * vds * vds) * (1.0 + LAMBDA * vds)
+        gds = beta * (vov - vds) * (1.0 + LAMBDA * vds) + beta * (
+            vov * vds - 0.5 * vds * vds
+        ) * LAMBDA
+        gm = beta * vds * (1.0 + LAMBDA * vds)
+    else:
+        base = 0.5 * beta * vov * vov
+        ids = base * (1.0 + LAMBDA * vds)
+        gds = base * LAMBDA
+        gm = beta * vov * (1.0 + LAMBDA * vds)
+    # Current flows from drain to source inside the device.
+    if not swap:
+        # a is drain: I(a->b) = ids ; dva==dvd, dvb==dvs
+        return (
+            ids,
+            gm,  # d/dvg
+            gds,  # d/dva
+            -(gm + gds),  # d/dvb
+        )
+    # b is drain: I(a->b) = -ids ; va is source
+    return (
+        -ids,
+        -gm,
+        gm + gds,
+        -gds,
+    )
+
+
+class TransientSolver:
+    """Backward-Euler transient simulation of one cell network.
+
+    Parameters
+    ----------
+    topo:
+        Transistor network from :func:`repro.spice.topology.build_topology`.
+    tech:
+        Process parameters.
+    forced:
+        Waveforms for every input pin (rails are implicit).
+    c_load:
+        Load capacitance at the cell output (F).
+    temp:
+        Junction temperature (Celsius).
+    vdd:
+        Supply override; defaults to the technology nominal.
+    """
+
+    def __init__(
+        self,
+        topo: CellTopology,
+        tech: Technology,
+        forced: Dict[str, Waveform],
+        c_load: float = 0.0,
+        temp: float = 25.0,
+        vdd: Optional[float] = None,
+    ):
+        self.topo = topo
+        self.tech = tech
+        self.vdd = tech.vdd if vdd is None else vdd
+        self.temp = temp
+        missing = [p for p in topo.pins if p not in forced]
+        if missing:
+            raise ValueError(f"unforced input pins: {missing}")
+
+        all_nodes = topo.nodes()
+        self.unknown_nodes = [
+            n
+            for n in all_nodes
+            if n not in (VDD_NODE, GND_NODE) and n not in forced
+        ]
+        self._index = {n: i for i, n in enumerate(self.unknown_nodes)}
+        self._forced = dict(forced)
+
+        caps = topo.capacitances(tech, c_load)
+        self._c = np.array([caps.get(n, 0.0) for n in self.unknown_nodes])
+        if np.any(self._c <= 0):
+            raise ValueError("every unknown node needs nonzero capacitance")
+
+        self._devices: List[_Device] = []
+        for t in topo.transistors:
+            params = tech.nmos if t.kind == "n" else tech.pmos
+            self._devices.append(
+                _Device(
+                    t.kind,
+                    self._node_ref(t.gate),
+                    self._node_ref(t.a),
+                    self._node_ref(t.b),
+                    params.k_at(temp) * t.width,
+                    params.vt_at(temp),
+                )
+            )
+
+    # Node references: unknowns get index >= 0; forced nodes get -1-k
+    # into a per-step forced-voltage table.
+    def _node_ref(self, node: str) -> int:
+        if node in self._index:
+            return self._index[node]
+        if not hasattr(self, "_forced_order"):
+            self._forced_order: List[str] = []
+            self._forced_index: Dict[str, int] = {}
+        if node not in self._forced_index:
+            self._forced_index[node] = len(self._forced_order)
+            self._forced_order.append(node)
+        return -1 - self._forced_index[node]
+
+    def _forced_voltages(self, t: float) -> np.ndarray:
+        out = np.empty(len(self._forced_order))
+        for k, node in enumerate(self._forced_order):
+            if node == VDD_NODE:
+                out[k] = self.vdd
+            elif node == GND_NODE:
+                out[k] = 0.0
+            else:
+                out[k] = self._forced[node](t)
+        return out
+
+    def _voltage(self, ref: int, v: np.ndarray, forced_v: np.ndarray) -> float:
+        return v[ref] if ref >= 0 else forced_v[-1 - ref]
+
+    def _stamp(self, v: np.ndarray, forced_v: np.ndarray):
+        """Device currents leaving each unknown node, and conductance matrix."""
+        n = len(v)
+        current = GMIN * v.copy()
+        jac = np.eye(n) * GMIN
+        for dev in self._devices:
+            vg = self._voltage(dev.gate_idx, v, forced_v)
+            va = self._voltage(dev.a_idx, v, forced_v)
+            vb = self._voltage(dev.b_idx, v, forced_v)
+            if dev.kind == "n":
+                i_ab, dg, da, db = _nmos_iv(vg, va, vb, dev.beta, dev.vt)
+            else:
+                i_mirror, dgm, dam, dbm = _nmos_iv(-vg, -va, -vb, dev.beta, dev.vt)
+                # I_pmos(a->b) = -I_nmos(-v); chain rule flips both signs.
+                i_ab, dg, da, db = -i_mirror, dgm, dam, dbm
+            ia, ib = dev.a_idx, dev.b_idx
+            if ia >= 0:
+                current[ia] += i_ab
+                if ia >= 0:
+                    jac[ia, ia] += da
+                if ib >= 0:
+                    jac[ia, ib] += db
+                if dev.gate_idx >= 0:
+                    jac[ia, dev.gate_idx] += dg
+            if ib >= 0:
+                current[ib] -= i_ab
+                if ia >= 0:
+                    jac[ib, ia] -= da
+                jac[ib, ib] -= db
+                if dev.gate_idx >= 0:
+                    jac[ib, dev.gate_idx] -= dg
+        return current, jac
+
+    def _newton_step(self, v: np.ndarray, v_prev: np.ndarray, dt: float,
+                     forced_v: np.ndarray) -> Tuple[np.ndarray, float]:
+        current, jac = self._stamp(v, forced_v)
+        g_c = self._c / dt
+        residual = g_c * (v - v_prev) + current
+        a = jac + np.diag(g_c)
+        delta = np.linalg.solve(a, -residual)
+        # Damp very large steps to keep Newton stable around source swaps.
+        max_step = np.max(np.abs(delta))
+        if max_step > 0.5 * max(self.vdd, 1.0):
+            delta *= 0.5 * self.vdd / max_step
+        return v + delta, max_step
+
+    def solve_dc(self, t: float = 0.0, guess: Optional[np.ndarray] = None) -> np.ndarray:
+        """Operating point via pseudo-transient continuation."""
+        v = np.full(len(self.unknown_nodes), 0.5 * self.vdd) if guess is None else guess.copy()
+        forced_v = self._forced_voltages(t)
+        # Large-but-finite pseudo timesteps walk v to the DC solution even
+        # from a poor guess; the final steps are effectively pure Newton.
+        for dt in (1e-10, 1e-9, 1e-8, 1e-6, 1e-3, 1e-3, 1e-3):
+            for _ in range(NEWTON_MAX_ITER):
+                v_new, step = self._newton_step(v, v, dt, forced_v)
+                v = np.clip(v_new, -0.5, self.vdd + 0.5)
+                if step < NEWTON_TOL:
+                    break
+        return v
+
+    def run(
+        self,
+        t_end: float,
+        dt: float,
+        v0: Optional[np.ndarray] = None,
+        record: Optional[Sequence[str]] = None,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Integrate from 0 to ``t_end``; returns times and waveforms.
+
+        ``record`` selects nodes to store (default: all unknowns plus
+        forced input pins, so callers can measure input-referenced
+        delays without regenerating stimuli).
+        """
+        steps = max(2, int(round(t_end / dt)))
+        times = np.linspace(0.0, t_end, steps + 1)
+        v = self.solve_dc(0.0) if v0 is None else v0.copy()
+
+        if record is None:
+            record = list(self.unknown_nodes) + list(self.topo.pins)
+        traces = {n: np.empty(len(times)) for n in record}
+        self._store(traces, 0, v, self._forced_voltages(0.0))
+
+        for k in range(1, len(times)):
+            t = times[k]
+            forced_v = self._forced_voltages(t)
+            v_prev = v
+            v_guess = v.copy()
+            for _ in range(NEWTON_MAX_ITER):
+                v_guess, step = self._newton_step(v_guess, v_prev, dt, forced_v)
+                if step < NEWTON_TOL:
+                    break
+            v = v_guess
+            self._store(traces, k, v, forced_v)
+        return times, traces
+
+    def _store(self, traces, k: int, v: np.ndarray, forced_v: np.ndarray) -> None:
+        for node, arr in traces.items():
+            if node in self._index:
+                arr[k] = v[self._index[node]]
+            else:
+                ref = self._forced_index.get(node)
+                arr[k] = forced_v[ref] if ref is not None else 0.0

@@ -1,0 +1,172 @@
+"""Transistor network construction for standard cells.
+
+Each cell is expanded into its full static-CMOS structure:
+
+* the **pull-down network** follows the cell's series/parallel PDN
+  expression literally (series chains introduce the internal stack
+  nodes whose parasitic charging causes the Case-2-vs-Case-3 delay
+  differences of the paper's Section III);
+* the **pull-up network** is the series/parallel dual;
+* internally inverted inputs (XOR/MUX ``!pin`` literals) get a local
+  inverter; non-inverting cells get their output inverter.
+
+Every non-rail node carries a grounded capacitance: diffusion caps of
+every attached source/drain terminal plus the gate caps of any internal
+transistor gates tied to it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gates.cell import Cell, NetworkExpr
+from repro.tech.technology import Technology
+
+VDD_NODE = "VDD"
+GND_NODE = "GND"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOS device; ``a``/``b`` are interchangeable source/drain."""
+
+    name: str
+    kind: str  # "n" or "p"
+    gate: str
+    a: str
+    b: str
+    width: float  # multiplier over the technology unit width
+
+
+@dataclass
+class CellTopology:
+    """The flattened transistor network of one cell."""
+
+    cell_name: str
+    #: External input pin -> internal node it drives (identity unless the
+    #: pin only feeds internal inverters).
+    pins: Tuple[str, ...]
+    output: str
+    transistors: List[Transistor] = field(default_factory=list)
+    #: Nodes other than rails and input pins, in creation order.
+    internal_nodes: List[str] = field(default_factory=list)
+
+    def nodes(self) -> List[str]:
+        seen = dict.fromkeys(
+            itertools.chain.from_iterable((t.a, t.b, t.gate) for t in self.transistors)
+        )
+        return list(seen)
+
+    def gate_width_on_pin(self, pin: str) -> float:
+        """Total transistor width whose gate is tied to ``pin``."""
+        return sum(t.width for t in self.transistors if t.gate == pin)
+
+    def capacitances(self, tech: Technology, c_load: float = 0.0) -> Dict[str, float]:
+        """Grounded capacitance of every non-rail node.
+
+        ``c_load`` is added at the cell output.  Input pins are included
+        (their caps matter for input-capacitance extraction, not for the
+        transient solve, where pins are forced sources).
+        """
+        caps: Dict[str, float] = {}
+
+        def add(node: str, value: float) -> None:
+            if node in (VDD_NODE, GND_NODE):
+                return
+            caps[node] = caps.get(node, 0.0) + value
+
+        for t in self.transistors:
+            params = tech.nmos if t.kind == "n" else tech.pmos
+            add(t.a, params.c_diff * t.width)
+            add(t.b, params.c_diff * t.width)
+            add(t.gate, params.c_gate * t.width)
+        add(self.output, tech.c_wire + c_load)
+        return caps
+
+
+class _Builder:
+    def __init__(self, cell: Cell, tech: Technology):
+        self.cell = cell
+        self.tech = tech
+        self.topo = CellTopology(cell.name, cell.inputs, output="Z")
+        self._counter = itertools.count()
+        self._inverted_pins: Dict[str, str] = {}
+
+    def fresh(self, prefix: str) -> str:
+        node = f"{prefix}{next(self._counter)}"
+        self.topo.internal_nodes.append(node)
+        return node
+
+    def device(self, kind: str, gate: str, a: str, b: str, width: float) -> None:
+        name = f"{'MN' if kind == 'n' else 'MP'}{len(self.topo.transistors)}"
+        self.topo.transistors.append(Transistor(name, kind, gate, a, b, width))
+
+    def gate_node(self, literal: str) -> str:
+        """Internal node carrying the (possibly inverted) pin signal."""
+        if not literal.startswith("!"):
+            return literal
+        pin = literal[1:]
+        if pin not in self._inverted_pins:
+            node = self.fresh(f"{pin}_n")
+            self._emit_inverter(pin, node, width=self.cell.drive)
+            self._inverted_pins[pin] = node
+        return self._inverted_pins[pin]
+
+    def _emit_inverter(self, inp: str, out: str, width: float) -> None:
+        self.device("n", inp, out, GND_NODE, width)
+        self.device("p", inp, VDD_NODE, out, width * self.tech.pmos_ratio)
+
+    # -- network emission ------------------------------------------------
+    def emit_network(self, expr: NetworkExpr, kind: str, top: str, bottom: str,
+                     width: float) -> None:
+        """Emit transistors realizing ``expr`` between ``top`` and
+        ``bottom``.  For PMOS networks the expression must already be the
+        dual; literal polarity is unchanged (gates see the pin signal)."""
+        if isinstance(expr, str):
+            self.device(kind, self.gate_node(expr), top, bottom, width)
+            return
+        tag, children = expr[0], expr[1:]
+        if tag == "s":
+            # Series chain: effective resistance grows with length, so
+            # widen devices proportionally, as real cells do.
+            stack_width = width * len(children)
+            current_top = top
+            for i, child in enumerate(children):
+                current_bottom = (
+                    bottom if i == len(children) - 1 else self.fresh("x")
+                )
+                self.emit_network(child, kind, current_top, current_bottom, stack_width)
+                current_top = current_bottom
+        elif tag == "p":
+            for child in children:
+                self.emit_network(child, kind, top, bottom, width)
+        else:
+            raise ValueError(f"bad network expression node {expr!r}")
+
+
+def _dual(expr: NetworkExpr) -> NetworkExpr:
+    if isinstance(expr, str):
+        return expr
+    tag = "p" if expr[0] == "s" else "s"
+    return (tag,) + tuple(_dual(child) for child in expr[1:])
+
+
+def build_topology(cell: Cell, tech: Technology) -> CellTopology:
+    """Expand ``cell`` into its transistor network under ``tech``."""
+    if cell.pdn is None:
+        raise ValueError(f"cell {cell.name} has no transistor-level description")
+    builder = _Builder(cell, tech)
+    core_out = "Y" if cell.output_inverter else "Z"
+    if cell.output_inverter:
+        builder.topo.internal_nodes.append("Y")
+    # Every device scales with the cell's drive strength (X1/X2/...).
+    drive = cell.drive
+    builder.emit_network(cell.pdn, "n", core_out, GND_NODE, width=drive)
+    builder.emit_network(_dual(cell.pdn), "p", VDD_NODE, core_out,
+                         width=tech.pmos_ratio * drive)
+    if cell.output_inverter:
+        # The output inverter is upsized; it drives the external load.
+        builder._emit_inverter("Y", "Z", width=tech.out_inv_width * drive)
+    return builder.topo

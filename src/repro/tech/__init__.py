@@ -1,0 +1,6 @@
+"""Technology parameter sets for the three CMOS nodes of the evaluation."""
+
+from repro.tech.technology import Technology
+from repro.tech.presets import TECHNOLOGIES, technology
+
+__all__ = ["TECHNOLOGIES", "Technology", "technology"]

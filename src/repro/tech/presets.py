@@ -1,0 +1,76 @@
+"""The three technology presets of the evaluation.
+
+Values are calibrated against the paper's Tables 3-4 (AO22 input A and
+OA12 input C loaded with a same-type gate, nominal supply, 25C):
+
+* **130 nm** -- AO22/A case 1 around 120 ps, falling-input delay spread
+  of roughly +20% (case 2) / +13% (case 3);
+* **90 nm**  -- fastest node, case 1 around 60 ps, largest spreads;
+* **65 nm**  -- low-power flavour (high Vt at VDD=1.0 V), *slower* than
+  90 nm as in the paper, with the smallest spreads (~+12%/+7%), obtained
+  with a load-dominated output stage.
+
+``tests/test_spice_calibration.py`` locks these properties in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tech.technology import DeviceParams, Technology
+
+_FF = 1e-15
+
+TECH_130 = Technology(
+    name="cmos130",
+    node_nm=130,
+    vdd=1.2,
+    nmos=DeviceParams(vt0=0.34, k=700e-6, c_gate=1.2 * _FF, c_diff=0.8 * _FF),
+    pmos=DeviceParams(vt0=0.36, k=294e-6, c_gate=1.2 * _FF, c_diff=0.8 * _FF),
+    pmos_ratio=1.6,
+    c_wire=0.4 * _FF,
+    out_inv_width=1.5,
+)
+
+TECH_90 = Technology(
+    name="cmos90",
+    node_nm=90,
+    vdd=1.1,
+    nmos=DeviceParams(vt0=0.30, k=1000e-6, c_gate=0.7 * _FF, c_diff=0.5 * _FF),
+    pmos=DeviceParams(vt0=0.32, k=400e-6, c_gate=0.7 * _FF, c_diff=0.5 * _FF),
+    pmos_ratio=1.5,
+    c_wire=0.3 * _FF,
+    out_inv_width=1.5,
+)
+
+TECH_65 = Technology(
+    name="cmos65",
+    node_nm=65,
+    vdd=1.0,
+    nmos=DeviceParams(vt0=0.38, k=640e-6, c_gate=1.0 * _FF, c_diff=0.2 * _FF),
+    pmos=DeviceParams(vt0=0.40, k=320e-6, c_gate=1.0 * _FF, c_diff=0.2 * _FF),
+    pmos_ratio=2.2,
+    c_wire=1.0 * _FF,
+    out_inv_width=0.6,
+)
+
+#: Node name -> technology, in the order the paper reports.
+TECHNOLOGIES: Dict[str, Technology] = {
+    "130nm": TECH_130,
+    "90nm": TECH_90,
+    "65nm": TECH_65,
+}
+
+
+def technology(name: str) -> Technology:
+    """Look up a preset by name (``"130nm"``, ``"90nm"``, ``"65nm"``)."""
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology {name!r}; available: {list(TECHNOLOGIES)}"
+        ) from None
+
+
+def technology_names() -> List[str]:
+    return list(TECHNOLOGIES)

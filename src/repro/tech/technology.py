@@ -1,0 +1,76 @@
+"""Technology description consumed by the electrical simulator.
+
+The device model is a long-channel quadratic MOSFET with temperature-
+dependent mobility and threshold.  It is deliberately simple -- the
+phenomena the paper studies (sensitization-vector-dependent delay of
+complex gates) are properties of the *transistor network topology*:
+parallel ON devices increase available current, and ON devices hanging
+off internal stack nodes steal charge.  Both survive any monotone
+I(V) device model; see DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+#: Reference temperature for parameter values (Celsius).
+T_NOMINAL_C = 25.0
+_T0_K = 273.15 + T_NOMINAL_C
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """One transistor flavour (NMOS or PMOS)."""
+
+    #: Zero-bias threshold voltage magnitude at 25C (V).
+    vt0: float
+    #: Transconductance per unit width at 25C (A/V^2).
+    k: float
+    #: Gate capacitance per unit width (F).
+    c_gate: float
+    #: Source/drain diffusion capacitance per unit width (F).
+    c_diff: float
+    #: Mobility temperature exponent: k(T) = k * (T/T0)**mob_exp.
+    mob_exp: float = -1.5
+    #: Threshold temperature coefficient (V/K, applied to the magnitude).
+    vt_tc: float = -1.0e-3
+
+    def k_at(self, temp_c: float) -> float:
+        t_k = 273.15 + temp_c
+        return self.k * (t_k / _T0_K) ** self.mob_exp
+
+    def vt_at(self, temp_c: float) -> float:
+        return max(0.05, self.vt0 + self.vt_tc * (temp_c - T_NOMINAL_C))
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS process node as seen by :mod:`repro.spice`."""
+
+    name: str
+    node_nm: int
+    #: Nominal supply (V).
+    vdd: float
+    nmos: DeviceParams
+    pmos: DeviceParams
+    #: PMOS width multiplier applied by cells to balance rise/fall.
+    pmos_ratio: float = 2.0
+    #: Extra fixed wiring capacitance per cell output (F).
+    c_wire: float = 0.2e-15
+    #: Width of the output inverter of buffered (non-inverting) cells.
+    out_inv_width: float = 1.5
+
+    def describe(self) -> Dict[str, float]:
+        return {
+            "node_nm": self.node_nm,
+            "vdd": self.vdd,
+            "nmos_vt": self.nmos.vt0,
+            "pmos_vt": self.pmos.vt0,
+            "nmos_k": self.nmos.k,
+            "pmos_k": self.pmos.k,
+        }
+
+    def scaled(self, **overrides) -> "Technology":
+        """A copy with some top-level fields replaced (corners, ablations)."""
+        return replace(self, **overrides)

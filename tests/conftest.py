@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Characterized libraries are expensive (minutes cold), so they are
+session-scoped and disk-cached (``~/.cache/repro-charlib`` or
+``$REPRO_CHAR_CACHE``); the first full test run pays the cost once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.gates.library import default_library
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="session")
+def tech90():
+    return TECHNOLOGIES["90nm"]
+
+
+@pytest.fixture(scope="session")
+def tech130():
+    return TECHNOLOGIES["130nm"]
+
+
+@pytest.fixture(scope="session")
+def tech65():
+    return TECHNOLOGIES["65nm"]
+
+
+@pytest.fixture(scope="session")
+def charlib_poly_90(library, tech90):
+    """Vector-resolved polynomial library (full cell set, fast grid)."""
+    return characterize_library(library, tech90, grid=FAST_GRID)
+
+
+@pytest.fixture(scope="session")
+def charlib_lut_90(library, tech90):
+    """Vector-blind LUT library (the baseline's models)."""
+    return characterize_library(
+        library, tech90, grid=FAST_GRID, model="lut", vector_mode="default"
+    )
+
+
+@pytest.fixture(scope="session")
+def charlib_small_90(library, tech90):
+    """Tiny subset library for tests that build their own circuits."""
+    return characterize_library(
+        library,
+        tech90,
+        grid=FAST_GRID,
+        cells=["INV", "BUF", "NAND2", "AND2", "OR2", "AO22", "OA12", "XOR2"],
+    )

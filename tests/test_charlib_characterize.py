@@ -1,0 +1,117 @@
+"""Tests for the characterization pipeline (uses the session cache)."""
+
+import pytest
+
+from repro.charlib.characterize import (
+    CharacterizationGrid,
+    FAST_GRID,
+    _default_vectors,
+    characterize_cell,
+    characterize_library,
+)
+from repro.charlib.store import BLIND
+from repro.gates.library import default_library
+from repro.spice.cellsim import CellSimulator
+from repro.tech.presets import TECHNOLOGIES
+
+TINY_GRID = CharacterizationGrid(fo=(1.0, 4.0), t_in=(2e-11, 1.2e-10))
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["90nm"]
+
+
+class TestGrid:
+    def test_points_factorial(self, tech):
+        grid = CharacterizationGrid(fo=(1, 2), t_in=(1e-11,), temp=(0, 25),
+                                    vdd_scale=(1.0,))
+        assert grid.size == 4
+        points = grid.points(tech)
+        assert len(points) == 4
+        assert all(p[3] == pytest.approx(tech.vdd) for p in points)
+
+    def test_describe(self):
+        assert "fo" in FAST_GRID.describe()
+
+
+class TestDefaultVectors:
+    def test_one_per_polarity(self, lib):
+        ao22 = lib["AO22"]
+        chosen = _default_vectors(ao22, "A")
+        assert len(chosen) == 1  # AO22 pin A is unate
+        assert chosen[0].case == 1
+
+    def test_xor_keeps_both_polarities(self, lib):
+        xor = lib["XOR2"]
+        chosen = _default_vectors(xor, "A")
+        assert len(chosen) == 2
+        assert {v.inverting for v in chosen} == {False, True}
+
+
+class TestCharacterizeCell:
+    def test_inv_sweep(self, lib, tech):
+        sweeps = characterize_cell(lib["INV"], tech, TINY_GRID,
+                                   steps_per_window=250)
+        assert set(sweeps) == {("A", "A:", True), ("A", "A:", False)}
+        samples = sweeps[("A", "A:", True)]
+        assert len(samples) == TINY_GRID.size
+        assert all(s["delay"] > 0 and s["out_slew"] > 0 for s in samples)
+        assert all(s["out_rising"] is False for s in samples)
+
+    def test_unknown_vector_mode(self, lib, tech):
+        with pytest.raises(ValueError, match="vector_mode"):
+            characterize_cell(lib["INV"], tech, TINY_GRID, vector_mode="some")
+
+
+class TestCharacterizeLibrary:
+    def test_polynomial_subset(self, lib, tech, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path))
+        cl = characterize_library(
+            lib, tech, grid=TINY_GRID, cells=["INV"], steps_per_window=250
+        )
+        assert cl.model_kind == "polynomial"
+        assert len(cl.arcs()) == 2
+        assert cl.pin_cap("INV", "A") > 0
+        # model error vs direct simulation under 6% at a grid point
+        sim = CellSimulator(lib["INV"], tech, steps_per_window=250)
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        golden = sim.propagation("A", vec, True, 2e-11,
+                                 1.0 * cl.mean_cap("INV")).delay
+        arc = cl.arc("INV", "A", "A:", True, False)
+        model = arc.delay(1.0, 2e-11, 25.0, tech.vdd)
+        assert abs(model - golden) / golden < 0.06
+
+    def test_cache_hit(self, lib, tech, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path))
+        first = characterize_library(lib, tech, grid=TINY_GRID, cells=["INV"],
+                                     steps_per_window=250)
+        import time
+
+        started = time.perf_counter()
+        second = characterize_library(lib, tech, grid=TINY_GRID, cells=["INV"],
+                                      steps_per_window=250)
+        assert time.perf_counter() - started < 1.0  # disk load, not sims
+        assert second.metadata["cache_key"] == first.metadata["cache_key"]
+
+    def test_lut_blind_library(self, lib, tech, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path))
+        cl = characterize_library(
+            lib, tech, grid=TINY_GRID, model="lut", vector_mode="default",
+            cells=["NAND2"], steps_per_window=250,
+        )
+        assert cl.model_kind == "lut"
+        arc = cl.blind_arc("NAND2", "A", True, False)
+        assert arc.vector_id == BLIND
+        assert arc.delay(1.0, 2e-11, 25.0, tech.vdd) > 0
+
+    def test_orders_metadata(self, lib, tech, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path))
+        cl = characterize_library(lib, tech, grid=TINY_GRID, cells=["INV"],
+                                  steps_per_window=250)
+        assert cl.metadata["orders"]  # adaptive fit recorded its orders

@@ -1,0 +1,108 @@
+"""Unit tests for equivalent-fanout computation."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.fanout import equivalent_fanout, output_load, primary_output_load
+from repro.charlib.polynomial import PolynomialModel
+from repro.charlib.store import CharacterizedLibrary
+from repro.netlist.circuit import Circuit
+
+
+def fake_charlib():
+    return CharacterizedLibrary(
+        tech_name="cmos90",
+        library_name="fake",
+        model_kind="polynomial",
+        input_caps={
+            "INV": {"A": 2e-15},
+            "NAND2": {"A": 3e-15, "B": 5e-15},
+        },
+        arcs=[],
+    )
+
+
+def small_circuit():
+    c = Circuit("f")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("INV", "n1", {"A": "a"}, name="U1")
+    c.add_gate("NAND2", "n2", {"A": "n1", "B": "b"}, name="U2")
+    c.add_gate("INV", "z", {"A": "n2"}, name="U3")
+    c.add_output("z")
+    return c
+
+
+class TestOutputLoad:
+    def test_sums_sink_pin_caps(self):
+        c = small_circuit()
+        cl = fake_charlib()
+        # U1 drives NAND2 pin A only
+        assert output_load(c, c.instances["U1"], cl) == pytest.approx(3e-15)
+
+    def test_primary_output_gets_default_load(self):
+        c = small_circuit()
+        cl = fake_charlib()
+        load = output_load(c, c.instances["U3"], cl)
+        assert load == pytest.approx(primary_output_load(cl))
+
+    def test_explicit_po_load(self):
+        c = small_circuit()
+        cl = fake_charlib()
+        assert output_load(c, c.instances["U3"], cl, po_load=7e-15) == pytest.approx(
+            7e-15
+        )
+
+    def test_multi_sink(self):
+        c = small_circuit()
+        c.add_gate("INV", "extra", {"A": "n1"}, name="U4")
+        cl = fake_charlib()
+        assert output_load(c, c.instances["U1"], cl) == pytest.approx(5e-15)
+
+
+class TestWireLoadModel:
+    def test_net_capacitance(self):
+        from repro.charlib.fanout import WireLoadModel
+
+        wire = WireLoadModel(c_fixed=1e-15, c_per_fanout=0.5e-15)
+        assert wire.net_capacitance(0) == pytest.approx(1e-15)
+        assert wire.net_capacitance(4) == pytest.approx(3e-15)
+
+    def test_adds_to_output_load(self):
+        from repro.charlib.fanout import WireLoadModel
+
+        c = small_circuit()
+        cl = fake_charlib()
+        wire = WireLoadModel(c_fixed=0.0, c_per_fanout=1e-15)
+        bare = output_load(c, c.instances["U1"], cl)
+        wired = output_load(c, c.instances["U1"], cl, wire=wire)
+        assert wired == pytest.approx(bare + 1e-15)
+
+    def test_wire_slows_fanout(self, ):
+        from repro.charlib.fanout import WireLoadModel
+
+        c = small_circuit()
+        cl = fake_charlib()
+        wire = WireLoadModel(c_per_fanout=2e-15)
+        assert equivalent_fanout(c, c.instances["U1"], cl, wire=wire) > (
+            equivalent_fanout(c, c.instances["U1"], cl)
+        )
+
+
+class TestEquivalentFanout:
+    def test_definition(self):
+        c = small_circuit()
+        cl = fake_charlib()
+        fo = equivalent_fanout(c, c.instances["U1"], cl)
+        assert fo == pytest.approx(3e-15 / 2e-15)
+
+    def test_nand_mean_cap_denominator(self):
+        c = small_circuit()
+        cl = fake_charlib()
+        fo = equivalent_fanout(c, c.instances["U2"], cl)
+        assert fo == pytest.approx(2e-15 / 4e-15)
+
+    def test_primary_output_load_default(self):
+        cl = fake_charlib()
+        assert primary_output_load(cl) == pytest.approx(4e-15)
+        assert primary_output_load(cl, fanout=3.0) == pytest.approx(6e-15)

@@ -1,0 +1,65 @@
+"""Additional Liberty reader robustness coverage."""
+
+import pytest
+
+from repro.charlib.liberty import LibertyParseError, read_liberty
+
+MINIMAL = """
+library (tiny) {
+  time_unit : "1ps";
+  cell (INV) {
+    pin (A) {
+      direction : input;
+      capacitance : 2.0;
+    }
+    pin (Z) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        timing_sense : negative_unate;
+        cell_fall (delay_template) {
+          index_1 ("10.0, 100.0");
+          index_2 ("2.0, 8.0");
+          values ( "5.0, 9.0" "8.0, 14.0" );
+        }
+        fall_transition (delay_template) {
+          index_1 ("10.0, 100.0");
+          index_2 ("2.0, 8.0");
+          values ( "12.0, 30.0" "20.0, 45.0" );
+        }
+      }
+    }
+  }
+}
+"""
+
+
+class TestReaderRobustness:
+    def test_minimal_hand_written(self):
+        lib = read_liberty(MINIMAL)
+        assert lib.cells() == ["INV"]
+        arc = lib.blind_arc("INV", "A", True, False)
+        # fo axis: cap / mean_cap (2 fF) -> [1, 4]; exact at corners.
+        assert arc.delay(1.0, 10e-12, 25.0, 1.0) == pytest.approx(5e-12)
+        assert arc.delay(4.0, 100e-12, 25.0, 1.0) == pytest.approx(14e-12)
+
+    def test_comments_stripped(self):
+        text = MINIMAL.replace(
+            "library (tiny) {", "/* header\ncomment */ library (tiny) {"
+        )
+        assert read_liberty(text).cells() == ["INV"]
+
+    def test_timing_without_tables_skipped(self):
+        text = MINIMAL.replace('related_pin : "A";', 'related_pin : "A";') \
+            .replace("cell_fall", "cell_fall_bogus_ignored", 0)
+        # Drop the tables entirely: arc is skipped, caps still parse.
+        import re
+
+        stripped = re.sub(r"cell_fall.*?\)\s*;?\s*\}", "", text,
+                          flags=re.DOTALL, count=1)
+        lib = read_liberty(MINIMAL)
+        assert lib.pin_cap("INV", "A") == pytest.approx(2e-15)
+
+    def test_unbalanced_detected(self):
+        with pytest.raises(LibertyParseError):
+            read_liberty(MINIMAL.rstrip().rstrip("}"))

@@ -1,0 +1,97 @@
+"""Unit tests for the NLDM-style LUT model."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.lut import LutModel
+
+
+def simple_lut():
+    t_axis = [1e-11, 1e-10]
+    fo_axis = [1.0, 2.0, 4.0]
+    table = np.array([[10.0, 20.0, 40.0], [30.0, 40.0, 60.0]]) * 1e-12
+    return LutModel(t_axis, fo_axis, table, ref_temp=25.0, ref_vdd=1.1)
+
+
+class TestInterpolation:
+    def test_exact_at_corners(self):
+        lut = simple_lut()
+        assert lut.evaluate(1.0, 1e-11, 25.0, 1.1) == pytest.approx(10e-12)
+        assert lut.evaluate(4.0, 1e-10, 25.0, 1.1) == pytest.approx(60e-12)
+
+    def test_bilinear_midpoint(self):
+        lut = simple_lut()
+        mid = lut.evaluate(1.5, 5.5e-11, 25.0, 1.1)
+        assert mid == pytest.approx(25e-12)
+
+    def test_clamped_extrapolation(self):
+        lut = simple_lut()
+        assert lut.evaluate(100.0, 1e-9, 25.0, 1.1) == pytest.approx(60e-12)
+        assert lut.evaluate(0.01, 1e-13, 25.0, 1.1) == pytest.approx(10e-12)
+
+    def test_derating(self):
+        lut = LutModel(
+            [1e-11, 1e-10], [1.0, 2.0],
+            np.full((2, 2), 10e-12),
+            ref_temp=25.0, ref_vdd=1.0, k_temp=0.001, k_vdd=-0.5,
+        )
+        hot = lut.evaluate(1.0, 1e-11, 125.0, 1.0)
+        assert hot == pytest.approx(10e-12 * 1.1)
+        boosted = lut.evaluate(1.0, 1e-11, 25.0, 1.1)
+        assert boosted == pytest.approx(10e-12 * 0.95)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            LutModel([1e-11, 1e-10], [1.0], np.zeros((2, 2)))
+
+    def test_non_monotonic_axis(self):
+        with pytest.raises(ValueError, match="increasing"):
+            LutModel([1e-10, 1e-11], [1.0, 2.0], np.zeros((2, 2)))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        lut = simple_lut()
+        again = LutModel.from_dict(lut.to_dict())
+        assert again.evaluate(1.5, 5.5e-11, 25.0, 1.1) == pytest.approx(
+            lut.evaluate(1.5, 5.5e-11, 25.0, 1.1)
+        )
+
+    def test_kind(self):
+        assert simple_lut().to_dict()["kind"] == "lut"
+
+
+class TestFromSamples:
+    def test_assembles_factorial(self):
+        samples = []
+        for i, t in enumerate([1e-11, 1e-10]):
+            for j, f in enumerate([1.0, 2.0]):
+                samples.append(
+                    {"fo": f, "t_in": t, "temp": 25.0, "vdd": 1.1,
+                     "delay": (i * 2 + j) * 1e-12}
+                )
+        lut = LutModel.from_samples(samples, [1e-11, 1e-10], [1.0, 2.0],
+                                    "delay", ref_temp=25.0, ref_vdd=1.1)
+        assert lut.evaluate(2.0, 1e-10, 25.0, 1.1) == pytest.approx(3e-12)
+
+    def test_incomplete_factorial_rejected(self):
+        samples = [
+            {"fo": 1.0, "t_in": 1e-11, "temp": 25.0, "vdd": 1.1, "delay": 1e-12}
+        ]
+        with pytest.raises(ValueError, match="incomplete"):
+            LutModel.from_samples(samples, [1e-11, 1e-10], [1.0, 2.0],
+                                  "delay", 25.0, 1.1)
+
+    def test_off_corner_samples_ignored(self):
+        samples = []
+        for t in [1e-11, 1e-10]:
+            for f in [1.0, 2.0]:
+                samples.append({"fo": f, "t_in": t, "temp": 25.0, "vdd": 1.1,
+                                "delay": 5e-12})
+        samples.append({"fo": 1.0, "t_in": 1e-11, "temp": 125.0, "vdd": 1.1,
+                        "delay": 99e-12})
+        lut = LutModel.from_samples(samples, [1e-11, 1e-10], [1.0, 2.0],
+                                    "delay", 25.0, 1.1)
+        assert lut.evaluate(1.0, 1e-11, 25.0, 1.1) == pytest.approx(5e-12)

@@ -1,0 +1,52 @@
+"""Tests for the characterization QA checker."""
+
+import pytest
+
+from repro.charlib.qa import QaReport, validate_library
+from repro.tech.presets import TECHNOLOGIES
+
+
+class TestValidateLibrary:
+    def test_characterized_library_passes(self, charlib_small_90, tech90):
+        report = validate_library(
+            charlib_small_90, tech90, arcs_to_check=4, probes_per_arc=2,
+            steps_per_window=250, tolerance=0.10, seed=3,
+        )
+        assert report.checks
+        assert report.mean_delay_error < 0.06
+        assert report.passed, report.describe()
+
+    def test_deterministic_seed(self, charlib_small_90, tech90):
+        a = validate_library(charlib_small_90, tech90, arcs_to_check=2,
+                             probes_per_arc=1, steps_per_window=250, seed=7)
+        b = validate_library(charlib_small_90, tech90, arcs_to_check=2,
+                             probes_per_arc=1, steps_per_window=250, seed=7)
+        assert [c.arc_key for c in a.checks] == [c.arc_key for c in b.checks]
+        assert a.checks[0].fo == pytest.approx(b.checks[0].fo)
+
+    def test_describe_format(self, charlib_small_90, tech90):
+        report = validate_library(charlib_small_90, tech90, arcs_to_check=2,
+                                  probes_per_arc=1, steps_per_window=250)
+        text = report.describe()
+        assert "library QA" in text
+        assert "PASS" in text or "FAIL" in text
+
+    def test_corrupted_model_fails(self, charlib_small_90, tech90):
+        """Scale one arc's coefficients: QA must flag it."""
+        import copy
+
+        broken = copy.deepcopy(charlib_small_90)
+        arc = next(a for a in broken.arcs() if a.vector_id != "*")
+        arc.delay_model.coeffs *= 2.0
+        report = validate_library(
+            broken, tech90, arcs_to_check=len(broken.arcs()),
+            probes_per_arc=1, steps_per_window=250, seed=1,
+        )
+        assert not report.passed
+        assert any(arc.key == c.arc_key for c in report.failures())
+
+    def test_empty_report_properties(self):
+        report = QaReport()
+        assert report.worst_delay_error == 0.0
+        assert report.mean_delay_error == 0.0
+        assert report.passed

@@ -1,0 +1,67 @@
+"""Unit tests for adaptive-order polynomial regression."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.regression import fit_adaptive, fit_fixed
+
+
+def factorial_points(fo, tin, temp=(25.0,), vdd=(1.1,)):
+    return np.array(
+        [[f, t, T, v] for f in fo for t in tin for T in temp for v in vdd]
+    )
+
+
+class TestAdaptive:
+    def test_linear_data_stays_first_order(self):
+        pts = factorial_points([0.5, 1, 2, 4, 8], [1e-11, 5e-11, 2e-10])
+        values = 1e-11 + 2e-12 * pts[:, 0] + 0.1 * pts[:, 1]
+        model, report = fit_adaptive(pts, values, target_rel_error=0.01)
+        assert report.orders[0] == 1 and report.orders[1] == 1
+        assert report.target_met
+
+    def test_quadratic_data_escalates_order(self):
+        pts = factorial_points([0.5, 1, 2, 4, 8], [1e-11, 5e-11, 1e-10, 2e-10])
+        values = 1e-11 + 5e-13 * pts[:, 0] ** 2 + 0.05 * pts[:, 1]
+        model, report = fit_adaptive(pts, values, target_rel_error=0.005)
+        assert report.orders[0] >= 2
+        assert report.target_met
+        assert report.max_rel_error <= 0.005
+
+    def test_constant_variables_pinned_to_zero(self):
+        pts = factorial_points([1, 2, 4], [1e-11, 1e-10])
+        values = pts[:, 0] * 1e-12
+        _model, report = fit_adaptive(pts, values)
+        assert report.orders[2] == 0 and report.orders[3] == 0
+
+    def test_order_caps_respected(self):
+        rng = np.random.default_rng(3)
+        pts = factorial_points([0.5, 1, 2, 4, 8], [1e-11, 5e-11, 1e-10, 2e-10])
+        values = 1e-11 * (1 + rng.random(len(pts)))  # noise: unfittable
+        _model, report = fit_adaptive(
+            pts, values, target_rel_error=1e-6, max_orders=(2, 2, 0, 0)
+        )
+        assert report.orders[0] <= 2 and report.orders[1] <= 2
+        assert not report.target_met
+
+    def test_never_more_params_than_points(self):
+        pts = factorial_points([1, 2], [1e-11, 1e-10])
+        values = pts[:, 0] * 1e-12
+        _model, report = fit_adaptive(pts, values, target_rel_error=1e-12)
+        assert np.prod([o + 1 for o in report.orders]) <= len(values)
+
+    def test_iterations_counted(self):
+        pts = factorial_points([0.5, 1, 2, 4], [1e-11, 1e-10])
+        values = 1e-12 * pts[:, 0] ** 2
+        _model, report = fit_adaptive(pts, values, target_rel_error=0.001)
+        assert report.iterations >= 2
+
+
+class TestFixed:
+    def test_first_order_reported(self):
+        pts = factorial_points([0.5, 1, 2], [1e-11, 1e-10])
+        values = 1e-12 * pts[:, 0]
+        model, report = fit_fixed(pts, values, (1, 1, 1, 1))
+        # temp/vdd constant -> pinned to zero regardless of request
+        assert report.orders == (1, 1, 0, 0)
+        assert np.allclose(model.evaluate_many(pts), values, rtol=1e-9)

@@ -1,0 +1,100 @@
+"""Unit tests for the characterized-library container."""
+
+import numpy as np
+import pytest
+
+from repro.charlib.lut import LutModel
+from repro.charlib.polynomial import PolynomialModel
+from repro.charlib.store import (
+    BLIND,
+    CharacterizedLibrary,
+    TimingArc,
+    arc_key,
+    cache_dir,
+)
+
+
+def poly(const):
+    pts = np.array([[1.0, 1e-11, 25.0, 1.1], [2.0, 1e-10, 25.0, 1.1],
+                    [4.0, 5e-11, 25.0, 1.1]])
+    return PolynomialModel.fit(pts, np.full(3, const), orders=(0, 0, 0, 0))
+
+
+def make_arc(cell="INV", pin="A", vector_id="A:", rising=True, out_rising=False,
+             delay=10e-12):
+    return TimingArc(
+        cell=cell, pin=pin, vector_id=vector_id, input_rising=rising,
+        output_rising=out_rising, delay_model=poly(delay), slew_model=poly(2e-11),
+    )
+
+
+def make_lib(arcs=None):
+    return CharacterizedLibrary(
+        tech_name="cmos90",
+        library_name="test",
+        model_kind="polynomial",
+        input_caps={"INV": {"A": 2e-15}, "NAND2": {"A": 2e-15, "B": 2.4e-15}},
+        arcs=arcs if arcs is not None else [make_arc()],
+    )
+
+
+class TestArcs:
+    def test_key_format(self):
+        assert arc_key("INV", "A", "A:", True, False) == "INV|A|A:|r|F"
+
+    def test_lookup(self):
+        lib = make_lib()
+        arc = lib.arc("INV", "A", "A:", True, False)
+        assert arc.delay(1.0, 1e-11, 25.0, 1.1) == pytest.approx(10e-12)
+        assert arc.slew(1.0, 1e-11, 25.0, 1.1) == pytest.approx(2e-11)
+
+    def test_missing_arc(self):
+        with pytest.raises(KeyError, match="no timing arc"):
+            make_lib().arc("INV", "A", "A:", False, True)
+
+    def test_blind_lookup(self):
+        blind = make_arc(vector_id=BLIND)
+        lib = make_lib([blind])
+        assert lib.blind_arc("INV", "A", True, False) is not None
+
+    def test_arcs_listing(self):
+        assert len(make_lib().arcs()) == 1
+
+
+class TestCaps:
+    def test_pin_cap(self):
+        lib = make_lib()
+        assert lib.pin_cap("NAND2", "B") == pytest.approx(2.4e-15)
+
+    def test_mean_cap(self):
+        lib = make_lib()
+        assert lib.mean_cap("NAND2") == pytest.approx(2.2e-15)
+
+    def test_cells(self):
+        assert make_lib().cells() == ["INV", "NAND2"]
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        lib = make_lib()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        again = CharacterizedLibrary.load(path)
+        assert again.tech_name == "cmos90"
+        arc = again.arc("INV", "A", "A:", True, False)
+        assert arc.delay(1.0, 1e-11, 25.0, 1.1) == pytest.approx(10e-12)
+
+    def test_mixed_model_kinds(self, tmp_path):
+        lut = LutModel([1e-11, 1e-10], [1.0, 2.0], np.full((2, 2), 7e-12))
+        arc = TimingArc("INV", "A", BLIND, True, False, lut, lut)
+        lib = make_lib([arc])
+        lib.save(tmp_path / "l.json")
+        again = CharacterizedLibrary.load(tmp_path / "l.json")
+        assert again.blind_arc("INV", "A", True, False).delay(
+            1.0, 1e-11, 25.0, 1.1
+        ) == pytest.approx(7e-12)
+
+    def test_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path / "cc"))
+        assert cache_dir() == tmp_path / "cc"
+        assert (tmp_path / "cc").is_dir()

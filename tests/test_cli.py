@@ -1,0 +1,76 @@
+"""Tests for the command-line driver."""
+
+import json
+
+import pytest
+
+from repro.cli import load_circuit, main
+from repro.netlist.bench import C17_BENCH
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    path = tmp_path / "c17.bench"
+    path.write_text(C17_BENCH)
+    return str(path)
+
+
+@pytest.fixture
+def verilog_file(tmp_path, charlib_poly_90):
+    from repro.netlist.generate import c17
+    from repro.netlist.verilog import write_verilog
+
+    path = tmp_path / "c17.v"
+    path.write_text(write_verilog(c17()))
+    return str(path)
+
+
+class TestLoadCircuit:
+    def test_bench_mapped(self, bench_file):
+        circuit = load_circuit(bench_file)
+        assert circuit.num_gates >= 1
+
+    def test_bench_unmapped(self, bench_file):
+        circuit = load_circuit(bench_file, map_to_complex=False)
+        assert circuit.num_gates == 6
+
+    def test_verilog(self, verilog_file):
+        circuit = load_circuit(verilog_file)
+        assert circuit.num_gates == 6
+
+
+class TestStatsCommand:
+    def test_stats(self, bench_file, capsys):
+        assert main(["stats", bench_file, "--no-map"]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "6" in out
+
+
+class TestAnalyzeCommand:
+    def test_developed(self, bench_file, capsys, charlib_poly_90):
+        assert main([
+            "analyze", bench_file, "--no-map", "--tech", "90nm", "--top", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "True-path report" in out
+        assert "ps" in out
+
+    def test_baseline(self, bench_file, capsys, charlib_lut_90):
+        assert main([
+            "analyze", bench_file, "--no-map", "--tool", "baseline",
+            "--tech", "90nm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "two-step baseline" in out
+
+    def test_slack_and_json(self, bench_file, tmp_path, capsys,
+                            charlib_poly_90):
+        json_path = tmp_path / "paths.json"
+        assert main([
+            "analyze", bench_file, "--no-map", "--tech", "90nm",
+            "--required", "90", "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slack" in out
+        data = json.loads(json_path.read_text())
+        assert len(data) == 11

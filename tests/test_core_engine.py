@@ -1,0 +1,164 @@
+"""Unit tests for the engine state (dual values, trail, implication)."""
+
+import pytest
+
+from repro.core.engine import EngineCircuit, EngineState, FALLING, RISING
+from repro.core.logic_values import Value9
+from repro.netlist.circuit import Circuit
+
+V = Value9
+
+
+def chain_circuit():
+    """a -> INV -> n1 -> NAND2(b) -> n2, output n2."""
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("INV", "n1", {"A": "a"}, name="U1")
+    c.add_gate("NAND2", "n2", {"A": "n1", "B": "b"}, name="U2")
+    c.add_output("n2")
+    return c
+
+
+@pytest.fixture
+def ec():
+    return EngineCircuit(chain_circuit())
+
+
+@pytest.fixture
+def state(ec):
+    return EngineState(ec)
+
+
+class TestEngineCircuit:
+    def test_indexing(self, ec):
+        assert ec.num_nets == 4
+        assert ec.driver[ec.net_id["a"]] == -1
+        assert ec.driver[ec.net_id["n1"]] >= 0
+        assert ec.is_input[ec.net_id["a"]]
+        assert ec.is_output[ec.net_id["n2"]]
+
+    def test_sinks(self, ec):
+        sinks = ec.sinks[ec.net_id["n1"]]
+        assert len(sinks) == 1
+        gate = ec.gates[sinks[0][0]]
+        assert gate.cell.name == "NAND2" and sinks[0][1] == "A"
+
+    def test_vector_options_resolved(self, ec):
+        gate = ec.gates[ec.driver[ec.net_id["n2"]]]
+        options = gate.options["A"]
+        assert len(options) == 1
+        net, bit = options[0].side_assignments[0]
+        assert net == ec.net_id["b"] and bit == 1
+        assert options[0].inverting is True
+
+
+class TestAssignRollback:
+    def test_assign_and_propagate(self, ec, state):
+        a = ec.net_id["a"]
+        state.assign(a, V.RISE, RISING)
+        state.assign(a, V.FALL, FALLING)
+        assert state.propagate()
+        n1 = ec.net_id["n1"]
+        assert state.values[RISING][n1] == V.FALL
+        assert state.values[FALLING][n1] == V.RISE
+
+    def test_semi_undetermined_through_nand(self, ec, state):
+        a = ec.net_id["a"]
+        state.assign(a, V.RISE, RISING)
+        assert state.propagate()
+        n2 = ec.net_id["n2"]
+        # NAND2(FALL at A, unknown B): starts X, ends 1 -> X1
+        assert state.values[RISING][n2] == V.X1
+
+    def test_rollback_restores_values(self, ec, state):
+        a = ec.net_id["a"]
+        mark = state.checkpoint()
+        state.assign(a, V.RISE, RISING)
+        state.propagate()
+        state.rollback(mark)
+        assert state.values[RISING][a] == V.XX
+        assert state.values[RISING][ec.net_id["n1"]] == V.XX
+
+    def test_conflict_kills_component(self, ec, state):
+        a = ec.net_id["a"]
+        state.assign(a, V.RISE, RISING)
+        state.assign(a, V.FALL, FALLING)
+        state.propagate()
+        # Requiring n1 steady 1 contradicts both transitions... rising
+        # component first:
+        n1 = ec.net_id["n1"]
+        alive = state.assign(n1, V.S1, RISING)
+        assert alive  # falling component still alive
+        assert not state.alive[RISING]
+        assert state.alive[FALLING]
+
+    def test_kill_both_reports_dead(self, ec, state):
+        a = ec.net_id["a"]
+        state.assign(a, V.RISE, RISING)
+        state.assign(a, V.FALL, FALLING)
+        state.propagate()
+        n1 = ec.net_id["n1"]
+        state.assign(n1, V.S1, RISING)
+        assert not state.assign(n1, V.S1, FALLING)
+        assert not any(state.alive)
+
+    def test_rollback_revives_component(self, ec, state):
+        a = ec.net_id["a"]
+        state.assign(a, V.RISE, RISING)
+        state.propagate()
+        mark = state.checkpoint()
+        state.assign(ec.net_id["n1"], V.S1, RISING)
+        assert not state.alive[RISING]
+        state.rollback(mark)
+        assert state.alive[RISING]
+
+
+class TestObligations:
+    def test_require_steady_records_obligation(self, ec, state):
+        n1 = ec.net_id["n1"]
+        assert state.require_steady(n1, 0)
+        assert state.obligations == [(n1, 0)]
+
+    def test_pi_requirement_not_an_obligation(self, ec, state):
+        b = ec.net_id["b"]
+        state.require_steady(b, 1)
+        assert state.obligations == []
+
+    def test_is_justified_by_implication(self, ec, state):
+        a, n1 = ec.net_id["a"], ec.net_id["n1"]
+        state.require_steady(n1, 0)
+        assert not state.is_justified(n1, 0)
+        state.require_steady(a, 1)
+        state.propagate()
+        assert state.is_justified(n1, 0)
+
+    def test_first_unjustified(self, ec, state):
+        n1 = ec.net_id["n1"]
+        state.require_steady(n1, 0)
+        assert state.first_unjustified() == (0, n1, 0)
+
+    def test_first_unjustified_scan_start(self, ec, state):
+        n1 = ec.net_id["n1"]
+        state.require_steady(n1, 0)
+        assert state.first_unjustified(start=1) is None
+
+    def test_obligation_rolls_back(self, ec, state):
+        mark = state.checkpoint()
+        state.require_steady(ec.net_id["n1"], 0)
+        state.rollback(mark)
+        assert state.obligations == []
+
+
+class TestInputVector:
+    def test_extraction(self, ec, state):
+        a, b = ec.net_id["a"], ec.net_id["b"]
+        state.assign(a, V.RISE, RISING)
+        state.require_steady(b, 1)
+        state.propagate()
+        vec = state.input_vector(RISING)
+        assert vec == {"a": "T", "b": 1}
+
+    def test_dont_care(self, ec, state):
+        vec = state.input_vector(RISING)
+        assert vec == {"a": None, "b": None}

@@ -1,0 +1,62 @@
+"""Input-vector extraction semantics (what the tool reports to users)."""
+
+import pytest
+
+from repro.core.engine import EngineCircuit, EngineState, FALLING, RISING
+from repro.core.logic_values import Value9
+from repro.netlist.circuit import Circuit
+
+V = Value9
+
+
+def circuit():
+    c = Circuit("iv")
+    for n in ("a", "b", "c"):
+        c.add_input(n)
+    c.add_gate("AND2", "n1", {"A": "a", "B": "b"}, name="U1")
+    c.add_gate("OR2", "z", {"A": "n1", "B": "c"}, name="U2")
+    c.add_output("z")
+    c.check()
+    return c
+
+
+@pytest.fixture
+def state():
+    ec = EngineCircuit(circuit())
+    return ec, EngineState(ec)
+
+
+class TestInputVectorExtraction:
+    def test_transition_reported_as_t(self, state):
+        ec, st = state
+        st.assign(ec.net_id["a"], V.RISE, RISING)
+        assert st.input_vector(RISING)["a"] == "T"
+
+    def test_steady_values(self, state):
+        ec, st = state
+        st.assign(ec.net_id["b"], V.S1, RISING)
+        st.assign(ec.net_id["c"], V.S0, RISING)
+        vec = st.input_vector(RISING)
+        assert vec["b"] == 1 and vec["c"] == 0
+
+    def test_unconstrained_is_none(self, state):
+        _ec, st = state
+        assert st.input_vector(RISING) == {"a": None, "b": None, "c": None}
+
+    def test_semi_undetermined_reported_as_dont_care(self, state):
+        """X0/X1 on a PI means 'only the final value is pinned'; the
+        report treats it as a don't-care rather than inventing a steady
+        value that was never required."""
+        ec, st = state
+        st.assign(ec.net_id["b"], V.X1, RISING)
+        assert st.input_vector(RISING)["b"] is None
+
+    def test_components_independent(self, state):
+        ec, st = state
+        st.assign(ec.net_id["b"], V.S1, RISING)
+        assert st.input_vector(FALLING)["b"] is None
+
+    def test_fall_component_transition(self, state):
+        ec, st = state
+        st.assign(ec.net_id["a"], V.FALL, FALLING)
+        assert st.input_vector(FALLING)["a"] == "T"

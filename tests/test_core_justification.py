@@ -1,0 +1,149 @@
+"""Unit tests for backward justification."""
+
+import pytest
+
+from repro.core.engine import EngineCircuit, EngineState
+from repro.core.justification import Justifier, JustifyResult
+from repro.netlist.circuit import Circuit
+
+
+def build(fn):
+    c = Circuit("j")
+    fn(c)
+    c.check()
+    return EngineCircuit(c)
+
+
+def two_level(c):
+    c.add_input("a")
+    c.add_input("b")
+    c.add_input("d")
+    c.add_gate("AND2", "n1", {"A": "a", "B": "b"}, name="U1")
+    c.add_gate("OR2", "n2", {"A": "n1", "B": "d"}, name="U2")
+    c.add_output("n2")
+
+
+def reconvergent(c):
+    """z = AND(a, NOT a) is constant 0: requiring z=1 is unsatisfiable."""
+    c.add_input("a")
+    c.add_gate("INV", "an", {"A": "a"}, name="U1")
+    c.add_gate("AND2", "z", {"A": "a", "B": "an"}, name="U2")
+    c.add_output("z")
+
+
+class TestSimple:
+    def test_trivial_no_obligations(self):
+        ec = build(two_level)
+        state = EngineState(ec)
+        assert Justifier(state).justify() is JustifyResult.SAT
+
+    def test_justify_and_output(self):
+        ec = build(two_level)
+        state = EngineState(ec)
+        assert state.require_steady(ec.net_id["n1"], 1)
+        state.propagate()
+        result = Justifier(state).justify()
+        assert result is JustifyResult.SAT
+        # AND2 = 1 forces both inputs to 1.
+        from repro.core.logic_values import Value9
+
+        assert state.values[0][ec.net_id["a"]] == Value9.S1
+        assert state.values[0][ec.net_id["b"]] == Value9.S1
+
+    def test_justify_chain(self):
+        ec = build(two_level)
+        state = EngineState(ec)
+        assert state.require_steady(ec.net_id["n2"], 1)
+        state.propagate()
+        assert Justifier(state).justify() is JustifyResult.SAT
+        # some PI assignment now forces n2=1
+        assert state.first_unjustified() is None
+
+    def test_easiest_cube_first(self):
+        """OR2 = 1 should justify with a single-literal cube."""
+        ec = build(two_level)
+        state = EngineState(ec)
+        state.require_steady(ec.net_id["n2"], 1)
+        state.propagate()
+        Justifier(state).justify()
+        # easiest-first picks n1=1 (cube of size 1 on the first pin)...
+        # either way exactly one extra chain is assigned; verify the
+        # circuit implies the requirement with the final PI values.
+        vec = state.input_vector(0)
+        known = {k: v for k, v in vec.items() if v in (0, 1)}
+        sim = ec.circuit.simulate3(known)
+        assert sim["n2"] == 1
+
+
+class TestUnsat:
+    def test_constant_zero_node(self):
+        ec = build(reconvergent)
+        state = EngineState(ec)
+        mark = state.checkpoint()
+        assert state.require_steady(ec.net_id["z"], 1)
+        state.propagate()
+        result = Justifier(state).justify()
+        assert result is JustifyResult.UNSAT
+
+    def test_state_restored_after_unsat(self):
+        ec = build(reconvergent)
+        state = EngineState(ec)
+        state.require_steady(ec.net_id["z"], 1)
+        state.propagate()
+        trail_before = state.checkpoint()
+        Justifier(state).justify()
+        assert state.checkpoint() == trail_before  # rolled back cleanly
+
+
+class TestBacktracking:
+    def build_xor_like(self):
+        """n = OR(AND(a, b), AND(a', c)); justifying specific deeper
+        requirements forces cube backtracking."""
+
+        def fn(c):
+            c.add_input("a")
+            c.add_input("b")
+            c.add_input("c")
+            c.add_gate("INV", "an", {"A": "a"}, name="U0")
+            c.add_gate("AND2", "p", {"A": "a", "B": "b"}, name="U1")
+            c.add_gate("AND2", "q", {"A": "an", "B": "c"}, name="U2")
+            c.add_gate("OR2", "z", {"A": "p", "B": "q"}, name="U3")
+            c.add_output("z")
+
+        return build(fn)
+
+    def test_conflicting_requirements_need_backtrack(self):
+        ec = self.build_xor_like()
+        state = EngineState(ec)
+        # Force p=0 first, then require z=1: the easy cube p=1 clashes,
+        # so justification must fall back to q=1.
+        assert state.require_steady(ec.net_id["p"], 0)
+        state.propagate()
+        assert Justifier(state).justify() is JustifyResult.SAT
+        state.require_steady(ec.net_id["z"], 1)
+        state.propagate()
+        justifier = Justifier(state)
+        assert justifier.justify() is JustifyResult.SAT
+        vec = state.input_vector(0)
+        known = {k: v for k, v in vec.items() if v in (0, 1)}
+        assert ec.circuit.simulate3(known)["z"] == 1
+
+    def test_backtrack_limit_aborts(self):
+        ec = self.build_xor_like()
+        state = EngineState(ec)
+        state.require_steady(ec.net_id["p"], 0)
+        state.propagate()
+        Justifier(state).justify()
+        state.require_steady(ec.net_id["z"], 1)
+        state.propagate()
+        justifier = Justifier(state, backtrack_limit=0)
+        assert justifier.justify() in (JustifyResult.ABORTED, JustifyResult.SAT)
+
+    def test_backtracks_counted(self):
+        ec = build(reconvergent)
+        state = EngineState(ec)
+        state.require_steady(ec.net_id["z"], 1)
+        state.propagate()
+        justifier = Justifier(state)
+        justifier.justify()
+        assert justifier.backtracks >= 1

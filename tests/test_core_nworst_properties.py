@@ -1,0 +1,61 @@
+"""Property tests for N-worst pruning and search invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sta import TruePathSTA
+from repro.netlist.generate import random_dag
+from repro.netlist.techmap import techmap
+
+
+def load_charlib():
+    from repro.charlib.characterize import FAST_GRID, characterize_library
+    from repro.gates.library import default_library
+    from repro.tech.presets import TECHNOLOGIES
+
+    return characterize_library(
+        default_library(), TECHNOLOGIES["90nm"], grid=FAST_GRID
+    )
+
+
+class TestNWorstPruning:
+    @given(st.integers(0, 3000), st.integers(1, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_pruned_equals_exhaustive_topn(self, seed, n):
+        """The admissible bound guarantees the pruned search returns the
+        same N worst arrivals as exhaustive enumeration."""
+        charlib = load_charlib()
+        circuit = techmap(random_dag(f"nw{seed}", 10, 45, seed=seed))
+        sta = TruePathSTA(circuit, charlib)
+        exhaustive = sta.enumerate_paths()
+        if not exhaustive:
+            return
+        expected = sorted(
+            (p.worst_arrival for p in exhaustive), reverse=True
+        )[:n]
+        pruned = sta.n_worst_paths(n)
+        assert [p.worst_arrival for p in pruned] == pytest.approx(expected)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=8, deadline=None)
+    def test_paths_unique_by_key_and_polarity(self, seed):
+        """No (course, vector) combination is reported twice."""
+        charlib = load_charlib()
+        circuit = techmap(random_dag(f"uq{seed}", 10, 45, seed=seed))
+        sta = TruePathSTA(circuit, charlib)
+        paths = sta.enumerate_paths()
+        keys = [p.key for p in paths]
+        assert len(keys) == len(set(keys))
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=8, deadline=None)
+    def test_arrivals_consistent_with_gate_delays(self, seed):
+        charlib = load_charlib()
+        circuit = techmap(random_dag(f"ar{seed}", 10, 45, seed=seed))
+        sta = TruePathSTA(circuit, charlib)
+        for path in sta.enumerate_paths(max_paths=200):
+            for pol in path.polarities():
+                assert sum(pol.gate_delays) == pytest.approx(pol.arrival)
+                assert len(pol.gate_delays) == len(path.steps)
+                assert all(d > 0 for d in pol.gate_delays)

@@ -1,0 +1,72 @@
+"""Coverage for the path record API."""
+
+import pytest
+
+from repro.core.path import PathStep, PolarityTiming, TimedPath
+
+
+def make_polarity(arrival=1e-10, rising=True):
+    return PolarityTiming(
+        input_rising=rising,
+        output_rising=not rising,
+        arrival=arrival,
+        slew=3e-11,
+        gate_delays=[4e-11, 6e-11],
+        gate_slews=[2e-11, 3e-11],
+        input_vector={"a": "T", "b": 1, "c": None},
+    )
+
+
+def make_path(rise=None, fall=None, multi=False):
+    steps = (
+        PathStep("U1", "NAND2", "A", "A:1", 1, 2.0),
+        PathStep("U2", "AO22", "A", "A:110", 2, 1.5),
+    )
+    return TimedPath(
+        circuit_name="t",
+        nets=("a", "n1", "z"),
+        steps=steps,
+        rise=rise,
+        fall=fall,
+        multi_vector=multi,
+    )
+
+
+class TestTimedPath:
+    def test_course_and_key(self):
+        p = make_path(rise=make_polarity())
+        assert p.course == ("a", "n1", "z")
+        assert p.vector_signature == ("A:1", "A:110")
+        assert p.key == (("a", "n1", "z"), ("A:1", "A:110"))
+        assert p.length == 2
+
+    def test_polarities(self):
+        rise = make_polarity(rising=True)
+        fall = make_polarity(arrival=2e-10, rising=False)
+        both = make_path(rise=rise, fall=fall)
+        assert both.polarities() == [rise, fall]
+        assert both.worst_arrival == pytest.approx(2e-10)
+        only_rise = make_path(rise=rise)
+        assert only_rise.polarities() == [rise]
+
+    def test_no_polarity_raises(self):
+        empty = make_path()
+        with pytest.raises(ValueError, match="no surviving polarity"):
+            empty.worst_arrival
+
+    def test_describe(self):
+        p = make_path(rise=make_polarity(), fall=make_polarity(2e-10, False))
+        text = p.describe()
+        assert "a -> z" in text
+        assert "AO22.A A:110" in text
+        assert "rise=" in text and "fall=" in text
+
+    def test_step_fields(self):
+        step = make_path(rise=make_polarity()).steps[1]
+        assert step.case == 2
+        assert step.fo == pytest.approx(1.5)
+
+    def test_steps_immutable(self):
+        step = make_path(rise=make_polarity()).steps[0]
+        with pytest.raises(Exception):
+            step.pin = "B"

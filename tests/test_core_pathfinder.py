@@ -1,0 +1,200 @@
+"""Tests for the single-pass true-path finder.
+
+The heavyweight property here is *soundness*: every reported
+(path, vector, polarity) must actually propagate a transition in plain
+two-valued simulation of the circuit under the reported input vector.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FALLING, RISING
+from repro.core.sta import TruePathSTA
+from repro.netlist.generate import c17, random_dag, ripple_adder
+from repro.netlist.techmap import techmap
+
+
+def verify_sensitization(circuit, path, polarity):
+    """The reported input vector must make the output toggle with the
+    path's origin input."""
+    vector = polarity.input_vector
+    base = {k: (v if v in (0, 1) else 0) for k, v in vector.items()}
+    origin = path.nets[0]
+    before, after = dict(base), dict(base)
+    before[origin] = 0 if polarity.input_rising else 1
+    after[origin] = 1 - before[origin]
+    v_before = circuit.simulate(before)
+    v_after = circuit.simulate(after)
+    terminal = path.nets[-1]
+    if v_before[terminal] == v_after[terminal]:
+        return False
+    # The final values must match the reported output polarity.
+    return v_after[terminal] == (1 if polarity.output_rising else 0)
+
+
+@pytest.fixture(scope="module")
+def c17_paths(charlib_poly_90):
+    circuit = c17()
+    sta = TruePathSTA(circuit, charlib_poly_90)
+    return circuit, sta, sta.enumerate_paths()
+
+
+class TestC17:
+    def test_finds_all_eleven_paths(self, c17_paths):
+        _c, _sta, paths = c17_paths
+        assert len(paths) == 11  # c17 has 11 structural paths, all true
+
+    def test_both_polarities_alive(self, c17_paths):
+        _c, _sta, paths = c17_paths
+        assert all(p.rise is not None and p.fall is not None for p in paths)
+
+    def test_all_sensitizations_sound(self, c17_paths):
+        circuit, _sta, paths = c17_paths
+        for path in paths:
+            for polarity in path.polarities():
+                assert verify_sensitization(circuit, path, polarity), path.describe()
+
+    def test_nand_chain_polarity_bookkeeping(self, c17_paths):
+        _c, _sta, paths = c17_paths
+        for path in paths:
+            # Odd number of inverting stages flips the polarity.
+            inversions = len(path.steps)  # every c17 gate is a NAND2
+            if path.rise:
+                assert path.rise.output_rising == ((inversions % 2) == 0)
+
+    def test_delays_positive_and_ordered(self, c17_paths):
+        _c, _sta, paths = c17_paths
+        for path in paths:
+            for pol in path.polarities():
+                assert pol.arrival > 0
+                assert len(pol.gate_delays) == len(path.steps)
+                assert abs(sum(pol.gate_delays) - pol.arrival) < 1e-15
+
+    def test_gate_delays_realistic(self, c17_paths):
+        _c, _sta, paths = c17_paths
+        for path in paths:
+            for pol in path.polarities():
+                for d in pol.gate_delays:
+                    assert 1e-12 < d < 1e-9
+
+
+class TestSearchControls:
+    def test_max_paths(self, charlib_poly_90):
+        circuit = techmap(random_dag("pfc", 14, 70, seed=2))
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        capped = sta.enumerate_paths(max_paths=5)
+        assert len(capped) == 5
+
+    def test_inputs_filter(self, charlib_poly_90):
+        circuit = c17()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        paths = sta.enumerate_paths(inputs=["G1"])
+        assert paths and all(p.nets[0] == "G1" for p in paths)
+
+    def test_single_polarity_mode(self, charlib_poly_90):
+        circuit = c17()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        rise_only = sta.enumerate_paths(single_polarity=RISING)
+        assert all(p.rise is not None and p.fall is None for p in rise_only)
+        fall_only = sta.enumerate_paths(single_polarity=FALLING)
+        assert all(p.fall is not None and p.rise is None for p in fall_only)
+
+    def test_dual_pass_equals_two_single_passes(self, charlib_poly_90):
+        circuit = techmap(random_dag("dual", 12, 60, seed=9))
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        dual = sta.enumerate_paths()
+        rise = sta.enumerate_paths(single_polarity=RISING)
+        fall = sta.enumerate_paths(single_polarity=FALLING)
+        dual_rise = {(p.key) for p in dual if p.rise}
+        dual_fall = {(p.key) for p in dual if p.fall}
+        assert dual_rise == {p.key for p in rise}
+        assert dual_fall == {p.key for p in fall}
+
+    def test_n_worst_pruning_keeps_true_top(self, charlib_poly_90):
+        circuit = techmap(random_dag("prune", 14, 90, seed=4))
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        exhaustive = sta.enumerate_paths()
+        top3 = sorted(
+            (p.worst_arrival for p in exhaustive), reverse=True
+        )[:3]
+        pruned = sta.n_worst_paths(3)
+        assert [p.worst_arrival for p in pruned] == pytest.approx(top3)
+
+    def test_stats_populated(self, charlib_poly_90):
+        circuit = c17()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        sta.enumerate_paths()
+        stats = sta.last_stats
+        assert stats.paths_found == 11
+        assert stats.states_saved > 0
+        assert stats.cpu_seconds > 0
+
+
+class TestVectorExploration:
+    def test_vector_variants_recorded_distinctly(self, charlib_poly_90):
+        """Paths through an AO22 keep one record per vector combo."""
+        from repro.eval.fig4 import fig4_circuit
+
+        circuit = fig4_circuit()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        paths = sta.enumerate_paths()
+        by_course = sta.group_by_course(paths)
+        critical = by_course[("N1", "n10", "n11", "n12", "N20")]
+        assert len(critical) == 3  # cases 1, 2, 3 of the AO22
+        signatures = {p.vector_signature for p in critical}
+        assert len(signatures) == 3
+
+    def test_multi_vector_flag(self, charlib_poly_90):
+        from repro.eval.fig4 import fig4_circuit
+
+        sta = TruePathSTA(fig4_circuit(), charlib_poly_90)
+        paths = sta.enumerate_paths()
+        for p in paths:
+            traverses_ao22 = any(s.cell_name == "AO22" for s in p.steps)
+            xorish = any(s.cell_name in ("XOR2", "XNOR2") for s in p.steps)
+            assert p.multi_vector == (traverses_ao22 or xorish)
+
+    def test_worst_vector_per_course(self, charlib_poly_90):
+        from repro.eval.fig4 import fig4_circuit
+
+        sta = TruePathSTA(fig4_circuit(), charlib_poly_90)
+        paths = sta.enumerate_paths()
+        worst = sta.worst_vector_per_course(paths)
+        course = ("N1", "n10", "n11", "n12", "N20")
+        # The worst vector is AO22 case 2 (C=1, D=0 side values).
+        assert worst[course].steps[2].case == 2
+
+
+class TestSoundnessProperty:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_circuits_sound(self, seed):
+        # hypothesis doesn't inject fixtures; load the cached lib inline.
+        from repro.charlib.characterize import FAST_GRID, characterize_library
+        from repro.gates.library import default_library
+        from repro.tech.presets import TECHNOLOGIES
+
+        charlib = characterize_library(
+            default_library(), TECHNOLOGIES["90nm"], grid=FAST_GRID
+        )
+        circuit = techmap(random_dag(f"snd{seed}", 10, 45, seed=seed))
+        sta = TruePathSTA(circuit, charlib)
+        paths = sta.enumerate_paths(max_paths=200)
+        sample = paths if len(paths) <= 40 else random.Random(seed).sample(paths, 40)
+        for path in sample:
+            for polarity in path.polarities():
+                assert verify_sensitization(circuit, path, polarity), (
+                    seed, path.describe()
+                )
+
+    def test_adder_exhaustive_soundness(self, charlib_poly_90):
+        circuit = techmap(ripple_adder(4))
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        paths = sta.enumerate_paths()
+        assert paths
+        for path in paths:
+            for polarity in path.polarities():
+                assert verify_sensitization(circuit, path, polarity)

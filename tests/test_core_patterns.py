@@ -1,0 +1,97 @@
+"""Tests for two-pattern delay-test export."""
+
+import pytest
+
+from repro.core.patterns import (
+    CoverageSummary,
+    coverage,
+    generate_tests,
+    write_pattern_file,
+)
+from repro.core.sta import TruePathSTA
+from repro.eval.fig4 import fig4_circuit
+from repro.netlist.generate import c17
+
+
+@pytest.fixture(scope="module")
+def c17_tests(charlib_poly_90):
+    circuit = c17()
+    paths = TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+    return circuit, paths, generate_tests(circuit, paths)
+
+
+class TestGeneration:
+    def test_one_test_per_polarity(self, c17_tests):
+        _c, paths, tests = c17_tests
+        assert len(tests) == sum(len(p.polarities()) for p in paths)
+
+    def test_patterns_differ_only_at_origin(self, c17_tests):
+        _c, _p, tests = c17_tests
+        for t in tests:
+            diff = [k for k in t.v1 if t.v1[k] != t.v2[k]]
+            assert diff == [t.origin]
+
+    def test_expected_values_toggle(self, c17_tests):
+        _c, _p, tests = c17_tests
+        for t in tests:
+            assert t.expected[0] != t.expected[1]
+
+    def test_all_inputs_concrete(self, c17_tests):
+        circuit, _p, tests = c17_tests
+        for t in tests:
+            assert set(t.v1) == set(circuit.inputs)
+            assert all(v in (0, 1) for v in t.v1.values())
+
+    def test_validation_catches_bad_vector(self, charlib_poly_90):
+        circuit = c17()
+        paths = TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+        broken = paths[0]
+        # Corrupt the input vector: force a controlling side value.
+        polarity = broken.polarities()[0]
+        for key in polarity.input_vector:
+            if polarity.input_vector[key] in (0, 1):
+                polarity.input_vector[key] = 1 - polarity.input_vector[key]
+        with pytest.raises(ValueError, match="non-toggling"):
+            generate_tests(circuit, [broken])
+
+
+class TestPatternFile:
+    def test_format(self, c17_tests):
+        circuit, _p, tests = c17_tests
+        text = write_pattern_file(tests[:3], circuit.inputs)
+        assert "test 0" in text and "test 2" in text
+        assert text.count("v1 ") == 3
+        v1_line = next(l for l in text.splitlines() if l.strip().startswith("v1"))
+        assert len(v1_line.split()[1]) == len(circuit.inputs)
+
+
+class TestCoverage:
+    def test_full_coverage_on_c17(self, c17_tests):
+        _c, paths, tests = c17_tests
+        summary = coverage(paths, tests)
+        assert summary.course_coverage == pytest.approx(1.0)
+        assert summary.multi_vector_courses == 0
+        assert summary.worst_vector_coverage == 1.0
+
+    def test_fig4_worst_vector_coverage(self, charlib_poly_90):
+        circuit = fig4_circuit()
+        paths = TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+        tests = generate_tests(circuit, paths)
+        summary = coverage(paths, tests)
+        assert summary.multi_vector_courses >= 1
+        assert summary.worst_vector_coverage == 1.0
+
+    def test_partial_coverage_detected(self, charlib_poly_90):
+        """Dropping the worst-vector variants lowers the coverage the
+        way a vector-blind flow would."""
+        circuit = fig4_circuit()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        paths = sta.enumerate_paths()
+        worst = sta.worst_vector_per_course(paths)
+        easy_only = [p for p in paths if worst[p.course] is not p
+                     or not p.multi_vector]
+        easy_only = [p for p in easy_only if not p.multi_vector or
+                     p is not worst[p.course]]
+        tests = generate_tests(circuit, easy_only)
+        summary = coverage(paths, tests)
+        assert summary.worst_vector_coverage < 1.0

@@ -1,0 +1,108 @@
+"""Tests for slack reporting and JSON path export."""
+
+import json
+
+import pytest
+
+from repro.core.report import (
+    format_slack_report,
+    hold_report,
+    path_to_dict,
+    paths_to_json,
+    slack_report,
+)
+from repro.core.sta import TruePathSTA
+from repro.netlist.generate import c17
+
+
+@pytest.fixture(scope="module")
+def paths(charlib_poly_90):
+    sta = TruePathSTA(c17(), charlib_poly_90)
+    return sta.enumerate_paths()
+
+
+class TestJsonExport:
+    def test_path_to_dict(self, paths):
+        d = path_to_dict(paths[0])
+        assert d["circuit"] == "c17"
+        assert d["nets"][0] in ("G1", "G2", "G3", "G6", "G7")
+        assert len(d["steps"]) == len(paths[0].steps)
+        assert d["rise"]["arrival"] > 0
+        assert d["rise"]["input_rising"] is True
+
+    def test_json_roundtrip(self, paths):
+        text = paths_to_json(paths, indent=2)
+        loaded = json.loads(text)
+        assert len(loaded) == len(paths)
+        assert all("steps" in p for p in loaded)
+
+    def test_single_polarity_path(self, charlib_poly_90):
+        from repro.core.engine import RISING
+
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        rise_only = sta.enumerate_paths(single_polarity=RISING)
+        d = path_to_dict(rise_only[0])
+        assert d["fall"] is None
+
+
+class TestSlack:
+    def test_one_entry_per_endpoint(self, paths):
+        entries = slack_report(paths, required_time=200e-12)
+        endpoints = [e.endpoint for e in entries]
+        assert sorted(endpoints) == ["G22", "G23"]
+
+    def test_slack_arithmetic(self, paths):
+        required = 150e-12
+        entries = slack_report(paths, required)
+        for e in entries:
+            assert e.slack == pytest.approx(required - e.arrival)
+
+    def test_sorted_most_critical_first(self, paths):
+        entries = slack_report(paths, 200e-12)
+        slacks = [e.slack for e in entries]
+        assert slacks == sorted(slacks)
+
+    def test_violations_flagged(self, paths):
+        tight = slack_report(paths, 1e-12)
+        assert all(e.violated for e in tight)
+        loose = slack_report(paths, 1e-9)
+        assert not any(e.violated for e in loose)
+
+    def test_worst_path_per_endpoint(self, paths):
+        entries = slack_report(paths, 200e-12)
+        for e in entries:
+            same_endpoint = [p for p in paths if p.nets[-1] == e.endpoint]
+            assert e.arrival == pytest.approx(
+                max(p.worst_arrival for p in same_endpoint)
+            )
+
+    def test_format(self, paths):
+        text = format_slack_report(slack_report(paths, 1e-12))
+        assert "VIOLATED" in text
+        assert "endpoint" in text.splitlines()[0]
+
+
+class TestHoldReport:
+    def test_fastest_path_per_endpoint(self, paths):
+        entries = hold_report(paths, hold_time=0.0)
+        for e in entries:
+            same = [
+                min(p.arrival for p in q.polarities())
+                for q in paths
+                if q.nets[-1] == e.endpoint
+            ]
+            assert e.arrival == pytest.approx(min(same))
+
+    def test_hold_slack_sign(self, paths):
+        fastest = min(
+            min(p.arrival for p in q.polarities()) for q in paths
+        )
+        tight = hold_report(paths, hold_time=fastest * 2)
+        assert tight[0].violated  # fastest path misses a huge hold time
+        loose = hold_report(paths, hold_time=0.0)
+        assert not any(e.violated for e in loose)
+
+    def test_sorted_most_critical_first(self, paths):
+        entries = hold_report(paths, hold_time=50e-12)
+        slacks = [e.slack for e in entries]
+        assert slacks == sorted(slacks)

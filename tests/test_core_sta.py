@@ -1,0 +1,98 @@
+"""Unit tests for the TruePathSTA facade and delay calculator."""
+
+import pytest
+
+from repro.core.delaycalc import DelayCalculator
+from repro.core.engine import EngineCircuit
+from repro.core.sta import TruePathSTA
+from repro.netlist.generate import c17, random_dag
+from repro.netlist.techmap import techmap
+
+
+class TestFacade:
+    def test_report_text(self, charlib_poly_90):
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        paths = sta.enumerate_paths()
+        text = sta.report(paths, limit=5)
+        assert "c17" in text
+        assert "ps" in text
+        assert "... 6 more" in text
+
+    def test_group_by_course(self, charlib_poly_90):
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        paths = sta.enumerate_paths()
+        groups = sta.group_by_course(paths)
+        assert sum(len(v) for v in groups.values()) == len(paths)
+
+    def test_n_worst_sorted(self, charlib_poly_90):
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        top = sta.n_worst_paths(4)
+        arrivals = [p.worst_arrival for p in top]
+        assert arrivals == sorted(arrivals, reverse=True)
+        assert len(top) == 4
+
+    def test_multi_vector_filter(self, charlib_poly_90):
+        circuit = techmap(random_dag("mv", 14, 80, seed=21))
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        paths = sta.enumerate_paths(max_paths=300)
+        multi = sta.multi_vector_paths(paths)
+        assert all(p.multi_vector for p in multi)
+
+    def test_invalid_circuit_rejected(self, charlib_poly_90):
+        from repro.netlist.circuit import Circuit
+
+        c = Circuit("bad")
+        c.add_input("a")
+        c.add_gate("NAND2", "n", {"A": "a", "B": "ghost"})
+        with pytest.raises(ValueError):
+            TruePathSTA(c, charlib_poly_90)
+
+
+class TestDelayCalculator:
+    def test_fo_positive(self, charlib_poly_90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        assert all(fo > 0 for fo in calc.fo)
+
+    def test_arc_timing(self, charlib_poly_90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        gate = ec.gates[0]
+        delay, slew = calc.arc_timing(gate, "A", "A:1", True, False, 4e-11)
+        assert delay > 0 and slew > 0
+
+    def test_worst_gate_delay_bounds_arcs(self, charlib_poly_90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        gate = ec.gates[0]
+        worst = calc.worst_gate_delay(gate)
+        delay, _ = calc.arc_timing(gate, "A", "A:1", True, False, 4e-11)
+        assert worst >= delay
+
+    def test_worst_gate_delay_cached(self, charlib_poly_90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        gate = ec.gates[0]
+        assert calc.worst_gate_delay(gate) == calc.worst_gate_delay(gate)
+        assert gate.index in calc._worst_delay_cache
+
+    def test_remaining_bounds_monotone(self, charlib_poly_90):
+        """A net's bound is at least any successor's bound."""
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        bounds = calc.remaining_bounds()
+        for gate in ec.gates:
+            for net in gate.input_nets:
+                assert bounds[net] >= bounds[gate.output_net]
+
+    def test_po_bound_zero(self, charlib_poly_90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        bounds = calc.remaining_bounds()
+        # G22 feeds nothing, so its remaining delay is 0.
+        assert bounds[ec.net_id["G22"]] == 0.0
+
+    def test_vdd_inferred_from_tech(self, charlib_poly_90, tech90):
+        ec = EngineCircuit(c17())
+        calc = DelayCalculator(ec, charlib_poly_90)
+        assert calc.vdd == pytest.approx(tech90.vdd)

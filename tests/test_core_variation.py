@@ -1,0 +1,102 @@
+"""Tests for the Monte-Carlo variation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.sta import TruePathSTA
+from repro.core.variation import (
+    VariationSpec,
+    criticality,
+    path_statistics,
+    sample_path_arrivals,
+    timing_yield,
+)
+from repro.netlist.generate import c17
+
+
+@pytest.fixture(scope="module")
+def paths(charlib_poly_90):
+    sta = TruePathSTA(c17(), charlib_poly_90)
+    return sta.enumerate_paths()
+
+
+class TestSampling:
+    def test_shape(self, paths):
+        samples = sample_path_arrivals(paths, VariationSpec(seed=1), 200)
+        assert samples.shape == (200, len(paths))
+        assert np.all(samples > 0)
+
+    def test_zero_sigma_reproduces_nominal(self, paths):
+        spec = VariationSpec(sigma_local=0.0, sigma_global=0.0)
+        samples = sample_path_arrivals(paths, spec, 10)
+        for k, path in enumerate(paths):
+            nominal = max(p.arrival for p in path.polarities())
+            assert samples[:, k] == pytest.approx(nominal, rel=1e-12)
+
+    def test_deterministic_seed(self, paths):
+        a = sample_path_arrivals(paths, VariationSpec(seed=7), 50)
+        b = sample_path_arrivals(paths, VariationSpec(seed=7), 50)
+        assert np.array_equal(a, b)
+
+    def test_shared_gates_correlate(self, paths):
+        """Paths sharing gates must be positively correlated."""
+        shared = [
+            (i, j)
+            for i, p in enumerate(paths)
+            for j, q in enumerate(paths)
+            if i < j
+            and {s.gate_name for s in p.steps} & {s.gate_name for s in q.steps}
+        ]
+        assert shared
+        spec = VariationSpec(sigma_local=0.2, sigma_global=0.0, seed=3)
+        samples = sample_path_arrivals(paths, spec, 3000)
+        i, j = shared[0]
+        rho = np.corrcoef(samples[:, i], samples[:, j])[0, 1]
+        assert rho > 0.2
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_local=-0.1)
+
+    def test_empty_paths(self):
+        with pytest.raises(ValueError):
+            sample_path_arrivals([], VariationSpec(), 10)
+
+
+class TestStatistics:
+    def test_quantiles_ordered(self, paths):
+        stats = path_statistics(paths, VariationSpec(seed=2), 1000)
+        for s in stats:
+            assert s.q50 <= s.q95 <= s.q997
+            assert s.mean == pytest.approx(s.nominal, rel=0.1)
+
+    def test_std_grows_with_sigma(self, paths):
+        tight = path_statistics(paths, VariationSpec(0.02, 0.0, seed=4), 1500)
+        loose = path_statistics(paths, VariationSpec(0.10, 0.0, seed=4), 1500)
+        assert loose[0].std > tight[0].std
+
+
+class TestCriticality:
+    def test_probabilities_sum_to_one(self, paths):
+        crit = criticality(paths, VariationSpec(seed=5), 1000)
+        assert sum(crit.values()) == pytest.approx(1.0)
+
+    def test_nominal_winner_most_likely(self, paths):
+        crit = criticality(paths, VariationSpec(0.03, 0.02, seed=6), 2000)
+        nominal_worst = max(paths, key=lambda p: p.worst_arrival)
+        assert crit[nominal_worst.course] == max(crit.values())
+
+
+class TestYield:
+    def test_bounds(self, paths):
+        spec = VariationSpec(seed=8)
+        worst = max(p.worst_arrival for p in paths)
+        assert timing_yield(paths, spec, worst * 2.0) == pytest.approx(1.0)
+        assert timing_yield(paths, spec, worst * 0.5) == pytest.approx(0.0)
+
+    def test_monotone_in_required_time(self, paths):
+        spec = VariationSpec(seed=9)
+        worst = max(p.worst_arrival for p in paths)
+        levels = [worst * f for f in (0.95, 1.0, 1.05, 1.2)]
+        yields = [timing_yield(paths, spec, t, 1500) for t in levels]
+        assert yields == sorted(yields)

@@ -1,0 +1,69 @@
+"""Consistency of the golden-glue helpers with the STA itself."""
+
+import pytest
+
+from repro.charlib.fanout import output_load
+from repro.core.sta import TruePathSTA
+from repro.eval.golden import estimate_path_with, path_stages
+from repro.netlist.generate import c17
+from repro.netlist.techmap import techmap
+from repro.netlist.generate import random_dag
+
+
+@pytest.fixture(scope="module")
+def setup(charlib_poly_90):
+    circuit = techmap(random_dag("gc", 12, 60, seed=55))
+    sta = TruePathSTA(circuit, charlib_poly_90)
+    paths = sta.enumerate_paths(max_paths=200)
+    return circuit, sta, paths
+
+
+class TestPathStages:
+    def test_stage_loads_match_circuit(self, setup, charlib_poly_90):
+        circuit, _sta, paths = setup
+        path = paths[0]
+        stages = path_stages(circuit, charlib_poly_90, path)
+        assert len(stages) == len(path.steps)
+        for stage, step in zip(stages, path.steps):
+            inst = circuit.instances[step.gate_name]
+            assert stage.cell is inst.cell
+            assert stage.pin == step.pin
+            assert stage.c_load == pytest.approx(
+                output_load(circuit, inst, charlib_poly_90)
+            )
+
+    def test_stage_vectors_match_steps(self, setup, charlib_poly_90):
+        circuit, _sta, paths = setup
+        for path in paths[:10]:
+            stages = path_stages(circuit, charlib_poly_90, path)
+            for stage, step in zip(stages, path.steps):
+                assert stage.vector.vector_id == step.vector_id
+
+
+class TestEstimateSelfConsistency:
+    def test_same_calculator_reproduces_arrival(self, setup):
+        """estimate_path_with under the STA's own calculator equals the
+        arrival the pathfinder accumulated."""
+        _circuit, sta, paths = setup
+        for path in paths[:25]:
+            for polarity in path.polarities():
+                total, gate_delays = estimate_path_with(
+                    sta.calc, sta.ec, path, polarity
+                )
+                assert total == pytest.approx(polarity.arrival, rel=1e-9)
+                assert gate_delays == pytest.approx(polarity.gate_delays)
+
+    def test_fixed_slew_differs_somewhere(self, setup):
+        """Disabling slew propagation changes at least some estimates
+        (paths whose internal slews differ from the nominal one)."""
+        _circuit, sta, paths = setup
+        diffs = []
+        for path in (p for p in paths if len(p.steps) >= 3):
+            polarity = path.polarities()[0]
+            with_slew, _ = estimate_path_with(sta.calc, sta.ec, path, polarity)
+            without, _ = estimate_path_with(
+                sta.calc, sta.ec, path, polarity, propagate_slew=False
+            )
+            diffs.append(abs(with_slew - without) / with_slew)
+        assert diffs
+        assert max(diffs) > 1e-4

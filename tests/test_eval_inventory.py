@@ -1,0 +1,31 @@
+"""Tests for the suite-inventory runner."""
+
+import pytest
+
+from repro.eval.exp_inventory import run
+
+
+class TestInventory:
+    def test_subset(self):
+        result = run(circuits=["c17", "c499"], scale=0.25)
+        assert [r["name"] for r in result["rows"]] == ["c17", "c499"]
+        assert "Benchmark suite inventory" in result["text"]
+
+    def test_c17_exact(self):
+        result = run(circuits=["c17"])
+        row = result["rows"][0]
+        assert row["stats"]["gates"] == 6
+        assert row["complex_density"] == 0.0
+
+    def test_complex_density_computed(self):
+        result = run(circuits=["c499"], scale=0.25)
+        row = result["rows"][0]
+        expected = row["stats"]["complex_gates"] / row["stats"]["gates"]
+        assert row["complex_density"] == pytest.approx(expected)
+        assert row["complex_density"] > 0.3  # XOR-tree circuit
+
+    def test_histogram_present(self):
+        result = run(circuits=["c432"], scale=0.25)
+        assert sum(result["rows"][0]["histogram"].values()) == (
+            result["rows"][0]["stats"]["gates"]
+        )

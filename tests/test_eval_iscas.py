@@ -1,0 +1,56 @@
+"""Tests for the benchmark-suite builders."""
+
+import pytest
+
+from repro.eval.iscas import ISCAS_SUITE, build_circuit, suite_names
+
+
+class TestSuite:
+    def test_names_match_paper_order(self):
+        assert suite_names() == [
+            "c17", "c432", "c499", "c880a", "c1355", "c1908",
+            "c2670", "c3540", "c5315", "c6288", "c7552",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown suite circuit"):
+            build_circuit("c9999")
+
+    def test_c17_is_exact(self):
+        c = build_circuit("c17")
+        assert c.num_gates == 6
+
+    @pytest.mark.parametrize("name", ["c432", "c499", "c880a", "c1355"])
+    def test_small_scale_builds(self, name):
+        c = build_circuit(name, scale=0.25)
+        stats = c.stats()
+        assert stats["gates"] > 10
+        assert stats["complex_gates"] > 0  # techmap introduced complex gates
+
+    def test_scale_shrinks(self):
+        small = build_circuit("c432", scale=0.2).num_gates
+        large = build_circuit("c432", scale=0.6).num_gates
+        assert small < large
+
+    def test_c6288_is_multiplier(self):
+        c = build_circuit("c6288", scale=0.25)  # 4x4 multiplier
+        iv = {f"A{i}": (5 >> i) & 1 for i in range(4)}
+        iv.update({f"B{j}": (6 >> j) & 1 for j in range(4)})
+        v = c.simulate(iv)
+        product = sum(v[f"P{k}"] << k for k in range(8) if f"P{k}" in v)
+        assert product == 30
+
+    def test_full_scale_sizes_near_reference(self):
+        """Stand-ins land within a factor ~2 of the published gate
+        counts (spot-check on mid-size circuits)."""
+        for name in ("c499", "c880a", "c1908"):
+            entry = ISCAS_SUITE[name]
+            gates = build_circuit(name).num_gates
+            assert entry.ref_gates / 2.5 <= gates <= entry.ref_gates * 2.5, (
+                name, gates
+            )
+
+    def test_deterministic(self):
+        a = build_circuit("c432", scale=0.3)
+        b = build_circuit("c432", scale=0.3)
+        assert a.cell_histogram() == b.cell_histogram()

@@ -1,0 +1,61 @@
+"""Tests for metrics and table rendering."""
+
+import pytest
+
+from repro.eval.metrics import ErrorStats, error_stats, relative_error
+from repro.eval.tables import format_pct, format_ps, render_dict_rows, render_table
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_golden_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_error_stats(self):
+        stats = error_stats(
+            path_pairs=[(105.0, 100.0), (98.0, 100.0)],
+            gate_pairs=[(11.0, 10.0), (10.0, 10.0), (8.0, 10.0)],
+        )
+        assert stats.mean_path_error == pytest.approx(0.035)
+        assert stats.max_path_error == pytest.approx(0.05)
+        assert stats.max_gate_error == pytest.approx(0.2)
+        assert stats.n_paths == 2 and stats.n_gates == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_stats([], [(1.0, 1.0)])
+
+    def test_as_row_format(self):
+        stats = ErrorStats(0.0123, 0.2, 0.05, 0.3, 2, 4)
+        row = stats.as_row()
+        assert row["mean_path"] == "1.23%"
+        assert row["max_gate"] == "30.00%"
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["a", "bee"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_dict_rows(self):
+        text = render_dict_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert "a" in text and "3" in text
+
+    def test_dict_rows_empty(self):
+        assert render_dict_rows([], title="t") == "t"
+
+    def test_formatters(self):
+        assert format_ps(1.5e-10) == "150.00"
+        assert format_pct(0.123) == "+12.30%"
+        assert format_pct(-0.05) == "-5.00%"

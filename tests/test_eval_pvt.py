@@ -1,0 +1,67 @@
+"""Tests for the PVT extension (temperature/supply-aware analysis)."""
+
+import pytest
+
+from repro.eval.exp_pvt import CORNERS, characterize_pvt, corner_analysis
+from repro.netlist.circuit import Circuit
+
+
+PVT_CELLS = ["INV", "NAND2", "AO22"]
+
+
+@pytest.fixture(scope="module")
+def pvt_lib(tech90):
+    return characterize_pvt(tech90, PVT_CELLS, steps_per_window=250)
+
+
+def pvt_circuit():
+    """A small chain using only the PVT-characterized cells."""
+    c = Circuit("pvt_chain")
+    for n in ("a", "b", "c", "d", "e"):
+        c.add_input(n)
+    c.add_gate("NAND2", "n1", {"A": "a", "B": "b"}, name="U1")
+    c.add_gate("INV", "n2", {"A": "n1"}, name="U2")
+    c.add_gate("AO22", "n3", {"A": "n2", "B": "c", "C": "d", "D": "e"},
+               name="U3")
+    c.add_gate("INV", "z", {"A": "n3"}, name="U4")
+    c.add_output("z")
+    c.check()
+    return c
+
+
+class TestPvtModels:
+    def test_temperature_term_fitted(self, pvt_lib, tech90):
+        arc = pvt_lib.arc("AO22", "A", "A:110", False, False)
+        cool = arc.delay(2.0, 5e-11, 25.0, tech90.vdd)
+        hot = arc.delay(2.0, 5e-11, 125.0, tech90.vdd)
+        assert hot > cool * 1.02  # mobility degradation dominates
+
+    def test_supply_term_fitted(self, pvt_lib, tech90):
+        arc = pvt_lib.arc("AO22", "A", "A:110", False, False)
+        nominal = arc.delay(2.0, 5e-11, 25.0, tech90.vdd)
+        droop = arc.delay(2.0, 5e-11, 25.0, 0.9 * tech90.vdd)
+        assert droop > nominal * 1.05
+
+    def test_orders_include_pvt_axes(self, pvt_lib):
+        orders = pvt_lib.metadata["orders"]
+        assert any(o[2] >= 1 or o[3] >= 1 for o in orders.values())
+
+
+class TestCornerAnalysis:
+    def test_corner_ordering(self, pvt_lib, tech90):
+        result = corner_analysis(pvt_circuit(), pvt_lib, tech90)
+        arrivals = {r["corner"]: r["worst_arrival"] for r in result["rows"]}
+        assert arrivals["typical"] < arrivals["hot"]
+        assert arrivals["typical"] < arrivals["low-vdd"]
+        assert arrivals["worst"] == max(arrivals.values())
+
+    def test_all_corners_present(self, pvt_lib, tech90):
+        result = corner_analysis(pvt_circuit(), pvt_lib, tech90)
+        assert {r["corner"] for r in result["rows"]} == set(CORNERS)
+        assert "Corner analysis" in result["text"]
+
+    def test_same_paths_every_corner(self, pvt_lib, tech90):
+        """Corners change delays, not which paths are true."""
+        result = corner_analysis(pvt_circuit(), pvt_lib, tech90)
+        counts = {r["paths"] for r in result["rows"]}
+        assert len(counts) == 1

@@ -1,0 +1,33 @@
+"""Tests for the experiment CLI driver (cheap experiments only)."""
+
+import pytest
+
+from repro.eval.run import main
+
+
+class TestCheapExperiments:
+    def test_tables12(self, capsys):
+        assert main(["--experiment", "tables12"]) == 0
+        out = capsys.readouterr().out
+        assert "Propagation table AO22" in out
+        assert out.count("Case 1") >= 6
+
+    def test_fig23(self, capsys):
+        assert main(["--experiment", "fig23", "--tech", "130nm"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 3" in out
+        assert "turns_on" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "bogus"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_simultaneous(self, capsys):
+        assert main(["--experiment", "simultaneous", "--tech", "90nm",
+                     "--steps", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "push-out" in out

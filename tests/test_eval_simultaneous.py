@@ -1,0 +1,63 @@
+"""Tests for the simultaneous-transition extension experiment."""
+
+import pytest
+
+from repro.eval.exp_simultaneous import dual_input_delay, skew_sweep
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def sweep(tech90):
+    return skew_sweep(
+        tech90, skews=[0.0, 25e-12, 100e-12, 200e-12], steps_per_window=300
+    )
+
+
+class TestSkewSweep:
+    def test_zero_skew_pushes_out(self, sweep):
+        """Both series inputs switching together is slower than the
+        single-input (side already settled) arc."""
+        zero = sweep["rows"][0]
+        assert zero["skew"] == 0.0
+        assert zero["push_out"] > 0.0
+
+    def test_push_out_decays_with_skew(self, sweep):
+        push = [r["push_out"] for r in sweep["rows"]]
+        assert push[0] > push[-1]
+        # At large skew the later edge behaves like the single-input arc.
+        assert abs(push[-1]) < 0.15
+
+    def test_total_delay_grows_with_skew(self, sweep):
+        delays = [r["delay"] for r in sweep["rows"]]
+        assert delays == sorted(delays)
+
+    def test_text_render(self, sweep):
+        assert "push-out" in sweep["text"]
+
+
+class TestDualInputDelay:
+    def test_non_toggling_assignment_rejected(self, tech90):
+        with pytest.raises(ValueError, match="does not toggle"):
+            # With C=1,D=1 the AO22 output is stuck at 1.
+            dual_input_delay(
+                "AO22", "A", "B", {"C": 1, "D": 1}, tech90, skew=0.0,
+                steps_per_window=250,
+            )
+
+    def test_or_branch_speeds_up(self, tech90):
+        """Both parallel inputs of an OR2 rising together is *faster*
+        than one alone (parallel PUN devices assist)."""
+        from repro.gates.library import default_library
+        from repro.spice.cellsim import CellSimulator, input_capacitance
+
+        lib = default_library()
+        or2 = lib["OR2"]
+        sim = CellSimulator(or2, tech90, steps_per_window=300)
+        single = sim.propagation(
+            "A", or2.vector_by_id("A:0"), True, 50e-12,
+            input_capacitance(or2, "A", tech90),
+        ).delay
+        both = dual_input_delay(
+            "OR2", "A", "B", {}, tech90, skew=0.0, steps_per_window=300,
+        )
+        assert both < single

@@ -1,0 +1,54 @@
+"""Golden-arbitrated worst-delay prediction ratio (Table 6 fidelity)."""
+
+import pytest
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.core.sta import TruePathSTA
+from repro.eval.exp_table6 import (
+    run_circuit,
+    worst_delay_prediction_ratio,
+    worst_delay_prediction_ratio_golden,
+)
+from repro.eval.fig4 import fig4_circuit
+
+
+class TestGoldenArbitration:
+    def test_fig4_golden_ratio_zero(self, tech90, charlib_poly_90,
+                                    charlib_lut_90):
+        """Electrical arbitration agrees with the model on Fig. 4: the
+        baseline's easy vector is NOT the worst (ratio 0)."""
+        circuit = fig4_circuit()
+        dev = TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+        base = TwoStepSTA(circuit, charlib_lut_90)
+        report = base.run(max_structural_paths=100)
+        base_true = base.true_paths(report)
+        golden = worst_delay_prediction_ratio_golden(
+            circuit, tech90, charlib_poly_90, dev, base_true,
+            sample=2, steps_per_window=250,
+        )
+        model = worst_delay_prediction_ratio(dev, base_true)
+        assert golden == 0.0
+        assert model == 0.0  # arbiters agree here
+
+    def test_run_circuit_with_golden_sample(self, tech90, charlib_poly_90,
+                                            charlib_lut_90):
+        circuit = fig4_circuit()
+        row = run_circuit(
+            "fig4", circuit, charlib_poly_90, charlib_lut_90,
+            max_dev_paths=500, max_structural_paths=100,
+            tech=tech90, golden_sample=2,
+        )
+        assert row.worst_delay_ratio == 0.0
+
+    def test_none_without_candidates(self, tech90, charlib_poly_90,
+                                     charlib_lut_90):
+        from repro.netlist.generate import c17
+
+        circuit = c17()
+        dev = TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+        base = TwoStepSTA(circuit, charlib_lut_90)
+        report = base.run()
+        assert worst_delay_prediction_ratio_golden(
+            circuit, tech90, charlib_poly_90, dev,
+            base.true_paths(report), sample=2,
+        ) is None

@@ -1,0 +1,42 @@
+"""Direct tests of the Tables 3-4 measurement runner (single tech)."""
+
+import pytest
+
+from repro.eval.exp_tables34 import run, vector_delay_rows
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def rows90():
+    return vector_delay_rows(
+        "AO22", "A", technologies={"90nm": TECHNOLOGIES["90nm"]},
+        steps_per_window=250,
+    )
+
+
+class TestVectorDelayRows:
+    def test_row_structure(self, rows90):
+        assert len(rows90) == 2  # one per input edge
+        for row in rows90:
+            assert row["tech"] == "90nm"
+            assert set(row["delays"]) == {1, 2, 3}
+            assert set(row["diffs"]) == {2, 3}
+
+    def test_reference_is_case1(self, rows90):
+        for row in rows90:
+            for case, diff in row["diffs"].items():
+                expected = row["delays"][case] / row["delays"][1] - 1.0
+                assert diff == pytest.approx(expected)
+
+    def test_fall_row_matches_table3_shape(self, rows90):
+        fall = next(r for r in rows90 if r["edge"] == "In Fall")
+        assert fall["delays"][1] < fall["delays"][3] < fall["delays"][2]
+
+    def test_run_renders_both_tables(self):
+        result = run(
+            technologies={"90nm": TECHNOLOGIES["90nm"]},
+            steps_per_window=250,
+        )
+        assert "Table 3" in result["text"]
+        assert "Table 4" in result["text"]
+        assert "AO22" in result["text"] and "OA12" in result["text"]

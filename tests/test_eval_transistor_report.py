@@ -1,0 +1,99 @@
+"""Tests for the Figures 2-3 transistor-level analysis."""
+
+import pytest
+
+from repro.eval.exp_fig23 import analyses_for, run
+from repro.eval.transistor_report import (
+    OFF,
+    ON,
+    TURNS_OFF,
+    TURNS_ON,
+    analyze_vector,
+)
+from repro.gates.library import default_library
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["130nm"]
+
+
+class TestAnalyzeVector:
+    def test_inverter_states(self, lib, tech):
+        inv = lib["INV"]
+        vec = inv.sensitization_vectors("A")[0]
+        analysis = analyze_vector(inv, tech, vec, input_rising=True)
+        states = {d.kind: d.state for d in analysis.devices}
+        assert states["n"] == TURNS_ON
+        assert states["p"] == TURNS_OFF
+
+    def test_ao22_case1_parallel_pmos_on(self, lib, tech):
+        """Fig. 2a: falling A, sides B=1 C=0 D=0 -> pC and pD both ON."""
+        ao22 = lib["AO22"]
+        case1 = ao22.sensitization_vectors("A")[0]
+        analysis = analyze_vector(ao22, tech, case1, input_rising=False)
+        pmos_on = [d for d in analysis.devices if d.kind == "p" and d.state == ON]
+        assert len(pmos_on) == 2
+        assert {d.gate for d in pmos_on} == {"C", "D"}
+
+    def test_ao22_pa_switches_on_fall(self, lib, tech):
+        ao22 = lib["AO22"]
+        case1 = ao22.sensitization_vectors("A")[0]
+        analysis = analyze_vector(ao22, tech, case1, input_rising=False)
+        pa = next(
+            d for d in analysis.devices if d.kind == "p" and d.gate == "A"
+        )
+        assert pa.state == TURNS_ON  # falling input turns the PMOS on
+
+    def test_ao22_case2_charge_stealer(self, lib, tech):
+        """Fig. 2b: case 2 has the NMOS gated by C ON, touching the core
+        output node (the charge-stealing path of the paper's analysis)."""
+        ao22 = lib["AO22"]
+        case2 = ao22.sensitization_vectors("A")[1]
+        analysis = analyze_vector(ao22, tech, case2, input_rising=False)
+        nc = next(d for d in analysis.devices if d.kind == "n" and d.gate == "C")
+        assert nc.state == ON
+        assert "Y" in (nc.a, nc.b)  # adjacent to the switching core node
+
+    def test_ao22_case3_no_stealer_at_output(self, lib, tech):
+        """Fig. 2c: case 3's extra ON NMOS (gate D) sits below the stack,
+        isolated from the core output -- hence case 3 < case 2 delay."""
+        ao22 = lib["AO22"]
+        case3 = ao22.sensitization_vectors("A")[2]
+        analysis = analyze_vector(ao22, tech, case3, input_rising=False)
+        nd = next(d for d in analysis.devices if d.kind == "n" and d.gate == "D")
+        assert nd.state == ON
+        assert "Y" not in (nd.a, nd.b)
+
+    def test_oa12_case3_parallel_nmos(self, lib, tech):
+        """Fig. 3c: rising C with A=B=1 -> nA and nB both ON (fastest)."""
+        oa12 = lib["OA12"]
+        case3 = oa12.sensitization_vectors("C")[2]
+        analysis = analyze_vector(oa12, tech, case3, input_rising=True)
+        nmos_on = [d for d in analysis.devices if d.kind == "n" and d.state == ON]
+        assert {d.gate for d in nmos_on} == {"A", "B"}
+
+
+class TestRun:
+    def test_summary_counts(self, tech):
+        result = run(tech=tech)
+        summary = result["summary"]
+        assert summary["fig2_pmos_on_per_case"] == {1: 2, 2: 1, 3: 1}
+        assert summary["fig3_nmos_on_per_case"][3] == 2
+        assert summary["fig3_nmos_on_per_case"][1] == 1
+
+    def test_text_mentions_cases(self, tech):
+        result = run(tech=tech)
+        assert "case 1" in result["text"]
+        assert "Figure 3" in result["text"]
+
+    def test_analyses_for(self, tech):
+        analyses = analyses_for("AO22", "A", input_rising=False, tech=tech)
+        assert [a.case for a in analyses] == [1, 2, 3]
+        assert all(not a.input_rising for a in analyses)

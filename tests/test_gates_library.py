@@ -1,0 +1,97 @@
+"""Unit tests for the default standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.gates.cell import expr_function
+from repro.gates.library import Library, default_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+EXPECTED = {
+    "INV": 1, "BUF": 1,
+    "NAND2": 2, "NAND3": 3, "NAND4": 4,
+    "NOR2": 2, "NOR3": 3, "NOR4": 4,
+    "AND2": 2, "AND3": 3, "AND4": 4,
+    "OR2": 2, "OR3": 3, "OR4": 4,
+    "XOR2": 2, "XNOR2": 2,
+    "AOI21": 3, "AOI22": 4, "OAI12": 3, "OAI21": 3, "OAI22": 4,
+    "AO21": 3, "AO22": 4, "OA12": 3, "OA21": 3, "OA22": 4,
+    "MUX2": 3,
+    "NAND2B": 2, "NOR2B": 2, "AND2B": 2, "OR2B": 2,
+}
+
+
+class TestContents:
+    def test_all_cells_present(self, lib):
+        for name, arity in EXPECTED.items():
+            assert name in lib
+            assert lib[name].num_inputs == arity
+
+    def test_len_and_iteration(self, lib):
+        assert len(lib) == len(EXPECTED)
+        assert {c.name for c in lib} == set(EXPECTED)
+
+    def test_missing_cell(self, lib):
+        with pytest.raises(KeyError):
+            lib["NAND9"]
+        assert lib.get("NAND9") is None
+
+    def test_duplicate_rejected(self, lib):
+        inv = lib["INV"]
+        with pytest.raises(ValueError):
+            Library("dup", [inv, inv])
+
+
+class TestFunctionDefinitions:
+    def test_functions_match_pdn(self, lib):
+        """The cell function must equal the PDN conduction condition
+        (buffered cells) or its complement (inverting cells)."""
+        for cell in lib:
+            conducts = expr_function(cell.pdn, cell.inputs)
+            expected = conducts if cell.output_inverter else conducts.compose_not()
+            assert cell.func == expected, cell.name
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("AO22", lambda a, b, c, d: (a and b) or (c and d)),
+            ("OA12", lambda a, b, c: (a or b) and c),
+            ("AOI22", lambda a, b, c, d: not ((a and b) or (c and d))),
+            ("OAI12", lambda a, b, c: not ((a or b) and c)),
+            ("MUX2", lambda a, b, s: b if s else a),
+            ("XOR2", lambda a, b: a ^ b),
+            ("XNOR2", lambda a, b: 1 - (a ^ b)),
+            ("AND2B", lambda a, b: (1 - a) and b),
+            ("NOR2B", lambda a, b: not ((1 - a) or b)),
+        ],
+    )
+    def test_paper_equations(self, lib, name, fn):
+        cell = lib[name]
+        for bits in itertools.product((0, 1), repeat=cell.num_inputs):
+            assert cell.func.eval(bits) == (1 if fn(*bits) else 0), (name, bits)
+
+    def test_oa12_equals_oa21_function(self, lib):
+        """Vendor naming: OA12/OA21 are the same (A+B)*C gate here."""
+        assert lib["OA12"].func == lib["OA21"].func
+
+
+class TestComplexCells:
+    def test_complex_set(self, lib):
+        complex_names = {c.name for c in lib.complex_cells()}
+        assert "AO22" in complex_names and "OA12" in complex_names
+        assert "NAND2" not in complex_names
+        assert "MUX2" in complex_names
+
+    def test_subset(self, lib):
+        sub = lib.subset(["INV", "NAND2"])
+        assert len(sub) == 2
+        assert "AO22" not in sub
+
+    def test_default_library_is_cached(self):
+        assert default_library() is default_library()

@@ -1,0 +1,256 @@
+"""Unit tests for the boolean-function kernel."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.logic import BoolFunc, X, and3, merge3, not3, or3
+
+
+class TestConstruction:
+    def test_from_callable_and2(self):
+        f = BoolFunc.from_callable(2, lambda a, b: a and b)
+        assert f.table == 0b1000
+
+    def test_constant(self):
+        assert BoolFunc.constant(2, 0).table == 0
+        assert BoolFunc.constant(2, 1).table == 0b1111
+
+    def test_projection(self):
+        f = BoolFunc.projection(3, 1)
+        for bits in itertools.product((0, 1), repeat=3):
+            assert f.eval(bits) == bits[1]
+
+    def test_projection_bad_index(self):
+        with pytest.raises(ValueError):
+            BoolFunc.projection(2, 2)
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            BoolFunc(7, 0)
+
+    def test_bad_table(self):
+        with pytest.raises(ValueError):
+            BoolFunc(1, 0b100)
+
+
+class TestEval:
+    def setup_method(self):
+        self.xor = BoolFunc.from_callable(2, lambda a, b: a ^ b)
+
+    def test_eval_all_minterms(self):
+        assert [self.xor.eval((a, b)) for a in (0, 1) for b in (0, 1)] == [0, 1, 1, 0]
+
+    def test_eval_wrong_arity(self):
+        with pytest.raises(ValueError):
+            self.xor.eval((1,))
+
+    def test_eval_rejects_x(self):
+        with pytest.raises(ValueError):
+            self.xor.eval((1, X))
+
+    def test_eval3_known(self):
+        assert self.xor.eval3((1, 0)) == 1
+
+    def test_eval3_unknown(self):
+        assert self.xor.eval3((1, X)) is X
+
+    def test_eval3_controlling(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        assert and2.eval3((0, X)) == 0
+        assert and2.eval3((X, 0)) == 0
+        assert and2.eval3((1, X)) is X
+
+    def test_eval3_or_controlling(self):
+        or2 = BoolFunc.from_callable(2, lambda a, b: a or b)
+        assert or2.eval3((1, X)) == 1
+        assert or2.eval3((X, X)) is X
+
+
+class TestStructure:
+    def test_cofactor(self):
+        mux = BoolFunc.from_callable(3, lambda a, b, s: b if s else a)
+        assert mux.cofactor(2, 0) == BoolFunc.projection(2, 0)
+        assert mux.cofactor(2, 1) == BoolFunc.projection(2, 1)
+
+    def test_boolean_difference_xor(self):
+        xor = BoolFunc.from_callable(2, lambda a, b: a ^ b)
+        diff = xor.boolean_difference(0)
+        assert diff == BoolFunc.constant(1, 1)
+
+    def test_boolean_difference_and(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        assert and2.boolean_difference(0) == BoolFunc.projection(1, 0)
+
+    def test_depends_on(self):
+        f = BoolFunc.from_callable(3, lambda a, b, c: a and b)
+        assert f.depends_on(0) and f.depends_on(1)
+        assert not f.depends_on(2)
+        assert f.support() == [0, 1]
+
+    def test_compose_not(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        nand = and2.compose_not()
+        assert nand.eval((1, 1)) == 0
+        assert nand.eval((0, 1)) == 1
+        assert nand.compose_not() == and2
+
+    def test_equality_and_hash(self):
+        a = BoolFunc.from_callable(2, lambda x, y: x and y)
+        b = BoolFunc(2, 0b1000)
+        assert a == b and hash(a) == hash(b)
+        assert a != BoolFunc(2, 0b1110)
+
+
+class TestSensitization:
+    def test_and2(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        assert and2.sensitizing_assignments(0) == [{1: 1}]
+
+    def test_or2(self):
+        or2 = BoolFunc.from_callable(2, lambda a, b: a or b)
+        assert or2.sensitizing_assignments(0) == [{1: 0}]
+
+    def test_xor_both_values(self):
+        xor = BoolFunc.from_callable(2, lambda a, b: a ^ b)
+        assert xor.sensitizing_assignments(0) == [{1: 0}, {1: 1}]
+
+    def test_ao22_counts(self):
+        ao22 = BoolFunc.from_callable(
+            4, lambda a, b, c, d: (a and b) or (c and d)
+        )
+        for pin in range(4):
+            assert len(ao22.sensitizing_assignments(pin)) == 3
+
+    def test_is_inverting_nand(self):
+        nand = BoolFunc.from_callable(2, lambda a, b: not (a and b))
+        assert nand.is_inverting_at(0, {1: 1}) is True
+
+    def test_is_inverting_and(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        assert and2.is_inverting_at(0, {1: 1}) is False
+
+    def test_is_inverting_xor_depends_on_side(self):
+        xor = BoolFunc.from_callable(2, lambda a, b: a ^ b)
+        assert xor.is_inverting_at(0, {1: 0}) is False
+        assert xor.is_inverting_at(0, {1: 1}) is True
+
+    def test_is_inverting_rejects_nonsensitizing(self):
+        and2 = BoolFunc.from_callable(2, lambda a, b: a and b)
+        with pytest.raises(ValueError):
+            and2.is_inverting_at(0, {1: 0})
+
+    def test_is_inverting_rejects_ambiguous(self):
+        xor = BoolFunc.from_callable(2, lambda a, b: a ^ b)
+        with pytest.raises(ValueError):
+            xor.is_inverting_at(0, {})
+
+
+class TestJustificationCubes:
+    def test_nand_one(self):
+        nand = BoolFunc.from_callable(2, lambda a, b: not (a and b))
+        cubes = nand.justification_cubes(1)
+        assert {frozenset(c.items()) for c in cubes} == {
+            frozenset({(0, 0)}), frozenset({(1, 0)})
+        }
+
+    def test_nand_zero(self):
+        nand = BoolFunc.from_callable(2, lambda a, b: not (a and b))
+        assert nand.justification_cubes(0) == [{0: 1, 1: 1}]
+
+    def test_smallest_first(self):
+        ao22 = BoolFunc.from_callable(4, lambda a, b, c, d: (a and b) or (c and d))
+        cubes = ao22.justification_cubes(1)
+        sizes = [len(c) for c in cubes]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 2  # {A=1,B=1} or {C=1,D=1}
+
+    def test_cubes_force_value(self):
+        ao22 = BoolFunc.from_callable(4, lambda a, b, c, d: (a and b) or (c and d))
+        for value in (0, 1):
+            for cube in ao22.justification_cubes(value):
+                inputs = [cube.get(k, X) for k in range(4)]
+                assert ao22.eval3(inputs) == value
+
+    def test_cubes_minimal(self):
+        f = BoolFunc.from_callable(3, lambda a, b, c: (a and b) or c)
+        for value in (0, 1):
+            cubes = f.justification_cubes(value)
+            for cube in cubes:
+                for drop in cube:
+                    reduced = {k: v for k, v in cube.items() if k != drop}
+                    inputs = [reduced.get(k, X) for k in range(3)]
+                    assert f.eval3(inputs) != value
+
+
+class TestThreeValuedHelpers:
+    def test_and3(self):
+        assert and3((1, 1)) == 1
+        assert and3((1, 0, X)) == 0
+        assert and3((1, X)) is X
+
+    def test_or3(self):
+        assert or3((0, 0)) == 0
+        assert or3((X, 1)) == 1
+        assert or3((0, X)) is X
+
+    def test_not3(self):
+        assert not3(0) == 1 and not3(1) == 0 and not3(X) is X
+
+    def test_merge3(self):
+        assert merge3(X, 1) == (True, 1)
+        assert merge3(0, X) == (True, 0)
+        assert merge3(1, 1) == (True, 1)
+        assert merge3(0, 1)[0] is False
+
+
+@st.composite
+def bool_funcs(draw, max_inputs=4):
+    n = draw(st.integers(min_value=1, max_value=max_inputs))
+    table = draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    return BoolFunc(n, table)
+
+
+class TestProperties:
+    @given(bool_funcs())
+    @settings(max_examples=60, deadline=None)
+    def test_eval3_agrees_with_completions(self, f):
+        """eval3 returns a definite value iff all completions agree."""
+        n = f.num_inputs
+        for pattern in itertools.product((0, 1, X), repeat=min(n, 3)):
+            inputs = list(pattern) + [0] * (n - len(pattern))
+            unknown = [k for k, v in enumerate(inputs) if v is X]
+            outcomes = set()
+            for combo in itertools.product((0, 1), repeat=len(unknown)):
+                full = list(inputs)
+                for k, v in zip(unknown, combo):
+                    full[k] = v
+                outcomes.add(f.eval(full))
+            expected = outcomes.pop() if len(outcomes) == 1 else X
+            assert f.eval3(inputs) == expected or (
+                expected is X and f.eval3(inputs) is X
+            )
+
+    @given(bool_funcs())
+    @settings(max_examples=60, deadline=None)
+    def test_sensitizing_assignments_toggle_output(self, f):
+        for pin in range(f.num_inputs):
+            for assignment in f.sensitizing_assignments(pin):
+                lo = [0] * f.num_inputs
+                hi = [0] * f.num_inputs
+                for k, v in assignment.items():
+                    lo[k] = hi[k] = v
+                lo[pin], hi[pin] = 0, 1
+                assert f.eval(lo) != f.eval(hi)
+
+    @given(bool_funcs(max_inputs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_cofactor_shannon_expansion(self, f):
+        for pin in range(f.num_inputs):
+            f0, f1 = f.cofactor(pin, 0), f.cofactor(pin, 1)
+            for bits in itertools.product((0, 1), repeat=f.num_inputs):
+                reduced = tuple(b for k, b in enumerate(bits) if k != pin)
+                expected = f1.eval(reduced) if bits[pin] else f0.eval(reduced)
+                assert f.eval(bits) == expected

@@ -1,0 +1,107 @@
+"""Unit tests for the ISCAS .bench reader/writer."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.bench import (
+    C17_BENCH,
+    BenchParseError,
+    parse_bench,
+    write_bench,
+)
+from repro.netlist.techmap import equivalent
+
+
+class TestParse:
+    def test_c17(self):
+        c = parse_bench(C17_BENCH, name="c17")
+        assert c.num_gates == 6
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert all(i.cell.name == "NAND2" for i in c.instances.values())
+
+    def test_c17_function(self):
+        c = parse_bench(C17_BENCH)
+        # Published c17 logic: G22 = NAND(G10,G16), G23 = NAND(G16,G19)
+        v = c.simulate({"G1": 0, "G2": 0, "G3": 1, "G6": 1, "G7": 1})
+        g10 = 1 - (0 & 1)
+        g11 = 1 - (1 & 1)
+        g16 = 1 - (0 & g11)
+        g19 = 1 - (g11 & 1)
+        assert v["G22"] == 1 - (g10 & g16)
+        assert v["G23"] == 1 - (g16 & g19)
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # comment
+        INPUT(a)  # trailing
+        INPUT(b)
+        OUTPUT(z)
+        z = AND(a, b)
+        """
+        c = parse_bench(text)
+        assert c.simulate({"a": 1, "b": 1})["z"] == 1
+
+    def test_not_and_buff(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = BUFF(a)\n")
+        assert c.simulate({"a": 1}) == {"a": 1, "y": 0, "z": 1}
+
+    def test_file_object(self, tmp_path):
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        with open(path) as handle:
+            c = parse_bench(handle, name="c17")
+        assert c.num_gates == 6
+
+    @pytest.mark.parametrize(
+        "keyword,fn",
+        [
+            ("AND", lambda bits: all(bits)),
+            ("OR", lambda bits: any(bits)),
+            ("NAND", lambda bits: not all(bits)),
+            ("NOR", lambda bits: not any(bits)),
+            ("XOR", lambda bits: sum(bits) % 2 == 1),
+            ("XNOR", lambda bits: sum(bits) % 2 == 0),
+        ],
+    )
+    @pytest.mark.parametrize("width", [2, 3, 5, 7])
+    def test_wide_gate_decomposition(self, keyword, fn, width):
+        """Fan-in beyond the library maximum decomposes exactly."""
+        nets = [f"i{k}" for k in range(width)]
+        text = "\n".join(
+            [f"INPUT({n})" for n in nets]
+            + ["OUTPUT(z)", f"z = {keyword}({', '.join(nets)})"]
+        )
+        c = parse_bench(text)
+        for bits in itertools.product((0, 1), repeat=width):
+            values = dict(zip(nets, bits))
+            assert c.simulate(values)["z"] == (1 if fn(bits) else 0), (keyword, bits)
+
+    def test_errors(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nz AND(a)\n")
+        with pytest.raises(BenchParseError, match="unknown gate"):
+            parse_bench("INPUT(a)\nINPUT(b)\nz = FROB(a, b)\n")
+        with pytest.raises(BenchParseError, match="one operand"):
+            parse_bench("INPUT(a)\nINPUT(b)\nz = NOT(a, b)\n")
+        with pytest.raises(BenchParseError, match=">= 2"):
+            parse_bench("INPUT(a)\nz = AND(a)\n")
+
+
+class TestWrite:
+    def test_roundtrip_c17(self):
+        c = parse_bench(C17_BENCH, name="c17")
+        again = parse_bench(write_bench(c), name="c17rt")
+        assert equivalent(c, again)
+
+    def test_complex_cell_rejected(self):
+        from repro.netlist.circuit import Circuit
+
+        c = Circuit("x")
+        for n in ("a", "b", "c", "d"):
+            c.add_input(n)
+        c.add_gate("AO22", "z", {"A": "a", "B": "b", "C": "c", "D": "d"})
+        c.add_output("z")
+        with pytest.raises(ValueError, match="unmap"):
+            write_bench(c)

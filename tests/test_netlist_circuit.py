@@ -1,0 +1,155 @@
+"""Unit tests for the circuit graph."""
+
+import pytest
+
+from repro.gates.logic import X
+from repro.netlist.circuit import Circuit
+
+
+def tiny():
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("NAND2", "n1", {"A": "a", "B": "b"}, name="U1")
+    c.add_gate("INV", "z", {"A": "n1"}, name="U2")
+    c.add_output("z")
+    return c
+
+
+class TestConstruction:
+    def test_basic(self):
+        c = tiny()
+        c.check()
+        assert c.num_gates == 2
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["z"]
+
+    def test_two_drivers_rejected(self):
+        c = tiny()
+        with pytest.raises(ValueError, match="two drivers"):
+            c.add_gate("INV", "z", {"A": "a"})
+
+    def test_driving_an_input_rejected(self):
+        c = tiny()
+        with pytest.raises(ValueError, match="primary input"):
+            c.add_gate("INV", "a", {"A": "n1"})
+
+    def test_input_on_driven_net_rejected(self):
+        c = tiny()
+        with pytest.raises(ValueError, match="already driven"):
+            c.add_input("n1")
+
+    def test_bad_pin_set(self):
+        c = Circuit("x")
+        c.add_input("a")
+        with pytest.raises(ValueError, match="bad pin set"):
+            c.add_gate("NAND2", "n", {"A": "a"})
+        with pytest.raises(ValueError, match="bad pin set"):
+            c.add_gate("INV", "n", {"A": "a", "B": "a"})
+
+    def test_duplicate_instance_name(self):
+        c = tiny()
+        with pytest.raises(ValueError, match="duplicate instance"):
+            c.add_gate("INV", "q", {"A": "a"}, name="U1")
+
+    def test_undriven_net_detected(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_gate("NAND2", "n", {"A": "a", "B": "ghost"})
+        with pytest.raises(ValueError, match="no driver"):
+            c.check()
+
+    def test_missing_output_detected(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.outputs.append("nope")
+        with pytest.raises(ValueError, match="does not exist"):
+            c.check()
+
+    def test_cycle_detected(self):
+        c = Circuit("loop")
+        c.add_input("a")
+        c.add_gate("NAND2", "p", {"A": "a", "B": "q"})
+        c.add_gate("INV", "q", {"A": "p"})
+        with pytest.raises(ValueError, match="loop"):
+            c.topological()
+
+    def test_auto_instance_names(self):
+        c = Circuit("x")
+        c.add_input("a")
+        inst = c.add_gate("INV", "n", {"A": "a"})
+        assert inst.name == "U0"
+
+
+class TestQueries:
+    def test_fanout_and_driver(self):
+        c = tiny()
+        assert c.driver_of("n1").name == "U1"
+        assert c.driver_of("a") is None
+        sinks = c.fanout_of("n1")
+        assert len(sinks) == 1 and sinks[0][1] == "A"
+        assert c.nets["a"].fanout == 1
+
+    def test_complex_instances(self):
+        c = tiny()
+        assert c.complex_instances() == []
+        c.add_gate("AO22", "w", {"A": "a", "B": "b", "C": "n1", "D": "z"})
+        assert len(c.complex_instances()) == 1
+
+    def test_cell_histogram(self):
+        c = tiny()
+        assert c.cell_histogram() == {"INV": 1, "NAND2": 1}
+
+    def test_instance_helpers(self):
+        c = tiny()
+        u1 = c.instances["U1"]
+        assert u1.input_nets() == ["a", "b"]
+        assert u1.pin_of_net("a") == ["A"]
+        assert "NAND2" in repr(u1)
+
+    def test_stats(self):
+        stats = tiny().stats()
+        assert stats == {
+            "inputs": 2, "outputs": 1, "gates": 2, "complex_gates": 0,
+            "nets": 4, "depth": 2,
+        }
+
+
+class TestSimulation:
+    def test_simulate(self):
+        c = tiny()
+        # z = NOT(NAND(a,b)) = a AND b
+        for a in (0, 1):
+            for b in (0, 1):
+                assert c.simulate({"a": a, "b": b})["z"] == (a & b)
+
+    def test_simulate_missing_input(self):
+        with pytest.raises(ValueError, match="unassigned"):
+            tiny().simulate({"a": 1})
+
+    def test_simulate3_unknowns(self):
+        c = tiny()
+        values = c.simulate3({"a": 0})
+        assert values["n1"] == 1  # NAND with a controlling 0
+        assert values["z"] == 0
+        values = c.simulate3({"a": 1})
+        assert values["n1"] is X
+        assert values["z"] is X
+
+    def test_topological_is_cached(self):
+        c = tiny()
+        first = c.topological()
+        assert c.topological() is first
+        c.add_gate("INV", "y", {"A": "z"})
+        assert c.topological() is not first
+
+
+class TestExport:
+    def test_to_networkx(self):
+        graph = tiny().to_networkx()
+        assert graph.number_of_nodes() == 4  # 2 inputs + 2 gates
+        assert graph.has_edge("a", "U1")
+        assert graph.has_edge("U1", "U2")
+
+    def test_repr(self):
+        assert "tiny" in repr(tiny())

@@ -1,0 +1,201 @@
+"""Unit and property tests for the circuit generators."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.generate import (
+    alu_slice,
+    array_multiplier,
+    c17,
+    ecc_corrector,
+    parity_tree,
+    random_dag,
+    ripple_adder,
+)
+
+
+def bits_of(value, width, prefix):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+class TestC17:
+    def test_structure(self):
+        c = c17()
+        assert c.name == "c17"
+        assert c.stats()["gates"] == 6
+
+
+class TestRippleAdder:
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_adds(self, x, y, cin):
+        width = 8
+        c = TestRippleAdder._adder(width)
+        iv = {**bits_of(x, width, "A"), **bits_of(y, width, "B"), "CIN": cin}
+        v = c.simulate(iv)
+        total = sum(v[f"S{i}"] << i for i in range(width)) + (v[f"C{width}"] << width)
+        assert total == x + y + cin
+
+    _cache = {}
+
+    @staticmethod
+    def _adder(width):
+        if width not in TestRippleAdder._cache:
+            TestRippleAdder._cache[width] = ripple_adder(width)
+        return TestRippleAdder._cache[width]
+
+
+class TestArrayMultiplier:
+    def test_exhaustive_3x3(self):
+        c = array_multiplier(3)
+        for x, y in itertools.product(range(8), repeat=2):
+            iv = {**bits_of(x, 3, "A"), **bits_of(y, 3, "B")}
+            v = c.simulate(iv)
+            product = sum(v[f"P{k}"] << k for k in range(6) if f"P{k}" in v)
+            assert product == x * y, (x, y)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_random_6x6(self, x, y):
+        c = TestArrayMultiplier._mul6()
+        iv = {**bits_of(x, 6, "A"), **bits_of(y, 6, "B")}
+        v = c.simulate(iv)
+        product = sum(v[f"P{k}"] << k for k in range(12) if f"P{k}" in v)
+        assert product == x * y
+
+    _m6 = None
+
+    @staticmethod
+    def _mul6():
+        if TestArrayMultiplier._m6 is None:
+            TestArrayMultiplier._m6 = array_multiplier(6)
+        return TestArrayMultiplier._m6
+
+    def test_c6288_scale(self):
+        c = array_multiplier(16)
+        stats = c.stats()
+        assert stats["inputs"] == 32
+        assert stats["gates"] > 1000
+        assert stats["depth"] > 30  # the famous deep carry chains
+
+
+class TestParityTree:
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_parity(self, value):
+        c = TestParityTree._tree()
+        v = c.simulate(bits_of(value, 16, "D"))
+        assert v["PARITY"] == bin(value).count("1") % 2
+
+    _t = None
+
+    @staticmethod
+    def _tree():
+        if TestParityTree._t is None:
+            TestParityTree._t = parity_tree(16)
+        return TestParityTree._t
+
+
+class TestEccCorrector:
+    @staticmethod
+    def _encode(data_bits, width):
+        """Hamming check bits for the generator's position layout."""
+        r = 1
+        while (1 << r) < width + r + 1:
+            r += 1
+        positions = {}
+        index, pos = 0, 1
+        while index < width:
+            if pos & (pos - 1):
+                positions[pos] = index
+                index += 1
+            pos += 1
+        checks = []
+        for j in range(r):
+            parity = 0
+            for p, di in positions.items():
+                if p & (1 << j):
+                    parity ^= (data_bits >> di) & 1
+            checks.append(parity)
+        return positions, checks
+
+    @given(st.integers(0, 2**16 - 1), st.integers(-1, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_corrects_single_error(self, data, flip):
+        width = 16
+        c = TestEccCorrector._circ()
+        positions, checks = self._encode(data, width)
+        iv = bits_of(data, width, "D")
+        iv.update({f"P{j}": v for j, v in enumerate(checks)})
+        if flip >= 0:
+            iv[f"D{flip}"] ^= 1  # inject a single-bit error
+        v = c.simulate(iv)
+        for i in range(width):
+            assert v[f"Q{i}"] == (data >> i) & 1, f"bit {i} (flip={flip})"
+
+    _c = None
+
+    @staticmethod
+    def _circ():
+        if TestEccCorrector._c is None:
+            TestEccCorrector._c = ecc_corrector(16)
+        return TestEccCorrector._c
+
+
+class TestAluSlice:
+    @given(st.integers(0, 255), st.integers(0, 255),
+           st.integers(0, 1), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_operations(self, x, y, cin, op):
+        width = 8
+        c = TestAluSlice._alu()
+        s0, s1 = op & 1, op >> 1
+        iv = {**bits_of(x, width, "A"), **bits_of(y, width, "B"),
+              "CIN": cin, "S0": s0, "S1": s1}
+        v = c.simulate(iv)
+        f = sum(v[f"F{i}"] << i for i in range(width))
+        expected = {
+            (0, 0): (x + y + cin) & (2**width - 1),
+            (1, 0): x & y,
+            (0, 1): x | y,
+            (1, 1): x ^ y,
+        }[(s0, s1)]
+        assert f == expected
+
+    _a = None
+
+    @staticmethod
+    def _alu():
+        if TestAluSlice._a is None:
+            TestAluSlice._a = alu_slice(8)
+        return TestAluSlice._a
+
+
+class TestRandomDag:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_invariants(self, seed):
+        c = random_dag(f"inv{seed}", 12, 60, seed=seed)
+        c.check()
+        # no dead logic: every non-output net is read somewhere
+        for name, net in c.nets.items():
+            assert net.fanout > 0 or net.is_output, name
+
+    def test_deterministic(self):
+        a = random_dag("d", 10, 50, seed=5)
+        b = random_dag("d", 10, 50, seed=5)
+        assert a.cell_histogram() == b.cell_histogram()
+        assert [i.output_net for i in a.topological()] == [
+            i.output_net for i in b.topological()
+        ]
+
+    def test_gate_count(self):
+        c = random_dag("n", 20, 300, seed=1)
+        assert c.num_gates == 300
+
+    def test_output_target_roughly_met(self):
+        c = random_dag("o", 30, 400, seed=2, n_outputs=15)
+        assert 5 <= len(c.outputs) <= 60

@@ -1,0 +1,72 @@
+"""Extra generator coverage: edge cases and mapped equivalence."""
+
+import pytest
+
+from repro.netlist.generate import (
+    array_multiplier,
+    ecc_corrector,
+    parity_tree,
+    random_dag,
+    ripple_adder,
+)
+from repro.netlist.techmap import equivalent, techmap
+
+
+class TestEdgeCases:
+    def test_parity_tree_odd_width(self):
+        c = parity_tree(5)
+        value = 0b10110
+        v = c.simulate({f"D{i}": (value >> i) & 1 for i in range(5)})
+        assert v["PARITY"] == bin(value).count("1") % 2
+
+    def test_parity_tree_width_two(self):
+        c = parity_tree(2)
+        assert c.simulate({"D0": 1, "D1": 0})["PARITY"] == 1
+
+    def test_smallest_multiplier(self):
+        c = array_multiplier(2)
+        for x in range(4):
+            for y in range(4):
+                iv = {f"A{i}": (x >> i) & 1 for i in range(2)}
+                iv.update({f"B{j}": (y >> j) & 1 for j in range(2)})
+                v = c.simulate(iv)
+                p = sum(v[f"P{k}"] << k for k in range(4) if f"P{k}" in v)
+                assert p == x * y
+
+    def test_one_bit_adder(self):
+        c = ripple_adder(1)
+        v = c.simulate({"A0": 1, "B0": 1, "CIN": 1})
+        assert v["S0"] == 1 and v["C1"] == 1
+
+    def test_random_dag_tiny(self):
+        c = random_dag("tiny", 4, 8, seed=0)
+        c.check()
+        assert c.num_gates == 8
+
+    def test_random_dag_single_fanin_start(self):
+        """With very few nets early on, fan-in clamps to what exists."""
+        c = random_dag("clamp", 4, 3, seed=1)
+        for inst in c.instances.values():
+            assert inst.cell.num_inputs <= 4
+
+
+class TestMappedEquivalence:
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_mapped_multiplier_multiplies(self, width):
+        mapped = techmap(array_multiplier(width))
+        for x, y in [(0, 0), (2**width - 1, 2**width - 1), (3, 5), (5, 2)]:
+            iv = {f"A{i}": (x >> i) & 1 for i in range(width)}
+            iv.update({f"B{j}": (y >> j) & 1 for j in range(width)})
+            v = mapped.simulate(iv)
+            p = sum(
+                v[f"P{k}"] << k for k in range(2 * width) if f"P{k}" in v
+            )
+            assert p == x * y
+
+    def test_mapped_adder_equivalent(self):
+        plain = ripple_adder(5)
+        assert equivalent(plain, techmap(plain))
+
+    def test_mapped_ecc_equivalent(self):
+        plain = ecc_corrector(8)
+        assert equivalent(plain, techmap(plain), vectors=256)

@@ -1,0 +1,70 @@
+"""Unit tests for levelization utilities."""
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import c17
+from repro.netlist.levelize import (
+    fanin_cone,
+    fanout_cone,
+    instances_by_level,
+    levelize,
+    logic_depth,
+)
+
+
+def chain(n):
+    c = Circuit(f"chain{n}")
+    c.add_input("i")
+    prev = "i"
+    for k in range(n):
+        c.add_gate("INV", f"n{k}", {"A": prev})
+        prev = f"n{k}"
+    c.add_output(prev)
+    return c
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        c = chain(4)
+        levels = levelize(c)
+        assert levels["i"] == 0
+        assert levels["n3"] == 4
+        assert logic_depth(c) == 4
+
+    def test_c17_depth(self):
+        assert logic_depth(c17()) == 3
+
+    def test_empty_circuit(self):
+        c = Circuit("empty")
+        c.add_input("a")
+        assert logic_depth(c) == 0
+
+    def test_instances_by_level(self):
+        groups = instances_by_level(c17())
+        assert [len(g) for g in groups] == [2, 2, 2]
+
+    def test_level_is_max_of_inputs_plus_one(self):
+        c = Circuit("mix")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("INV", "n1", {"A": "a"})
+        c.add_gate("NAND2", "n2", {"A": "n1", "B": "b"})
+        c.add_output("n2")
+        levels = levelize(c)
+        assert levels["n2"] == 2
+
+
+class TestCones:
+    def test_fanin_cone(self):
+        c = c17()
+        cone = fanin_cone(c, "G22")
+        assert "G1" in cone and "G16" in cone and "G22" in cone
+        assert "G19" not in cone  # G19 only feeds G23
+
+    def test_fanout_cone(self):
+        c = c17()
+        cone = fanout_cone(c, "G11")
+        assert {"G11", "G16", "G19", "G22", "G23"} == set(cone)
+
+    def test_cone_of_input(self):
+        c = c17()
+        assert fanin_cone(c, "G1") == ["G1"]

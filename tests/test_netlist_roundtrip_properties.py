@@ -1,0 +1,47 @@
+"""Property-based round trips through both netlist formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.bench import parse_bench, write_bench
+from repro.netlist.generate import random_dag
+from repro.netlist.techmap import equivalent, techmap, unmap
+from repro.netlist.verilog import parse_verilog, write_verilog
+
+
+class TestRoundTrips:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_bench_roundtrip(self, seed):
+        circuit = random_dag(f"rtb{seed}", 8, 35, seed=seed)
+        again = parse_bench(write_bench(circuit), name="rt")
+        assert equivalent(circuit, again, vectors=128, seed=seed)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_verilog_roundtrip_mapped(self, seed):
+        """Mapped circuits (complex + B-variant cells) survive Verilog."""
+        circuit = techmap(random_dag(f"rtv{seed}", 8, 35, seed=seed))
+        again = parse_verilog(write_verilog(circuit))
+        assert equivalent(circuit, again, vectors=128, seed=seed)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=6, deadline=None)
+    def test_map_export_unmap_chain(self, seed):
+        """techmap -> verilog -> parse -> unmap -> bench -> parse keeps
+        the function through every representation."""
+        original = random_dag(f"chain{seed}", 8, 30, seed=seed)
+        mapped = techmap(original)
+        via_verilog = parse_verilog(write_verilog(mapped))
+        primitives = unmap(via_verilog)
+        via_bench = parse_bench(write_bench(primitives), name="chain")
+        assert equivalent(original, via_bench, vectors=128, seed=seed)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=8, deadline=None)
+    def test_interfaces_preserved(self, seed):
+        circuit = random_dag(f"io{seed}", 8, 30, seed=seed)
+        again = parse_bench(write_bench(circuit), name="io")
+        assert sorted(again.inputs) == sorted(circuit.inputs)
+        assert sorted(again.outputs) == sorted(circuit.outputs)

@@ -1,0 +1,192 @@
+"""Unit tests for technology mapping and unmapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import random_dag
+from repro.netlist.techmap import equivalent, techmap, unmap
+
+
+def build(text):
+    return parse_bench(text)
+
+
+class TestPatterns:
+    def test_and_or_to_ao22(self):
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n"
+            "x = AND(a, b)\ny = AND(c, d)\nz = OR(x, y)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {"AO22": 1}
+        assert equivalent(c, m)
+
+    def test_or_and_to_oa22(self):
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n"
+            "x = OR(a, b)\ny = OR(c, d)\nz = AND(x, y)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {"OA22": 1}
+        assert equivalent(c, m)
+
+    def test_partial_cluster_to_ao21(self):
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\n"
+            "x = AND(a, b)\nz = OR(x, c)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {"AO21": 1}
+
+    def test_or_and_single_to_oa12(self):
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\n"
+            "x = OR(a, b)\nz = AND(x, c)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {"OA12": 1}
+
+    def test_inverting_outer_to_aoi(self):
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n"
+            "x = AND(a, b)\ny = AND(c, d)\nz = NOR(x, y)\n"
+        )
+        assert techmap(c).cell_histogram() == {"AOI22": 1}
+
+    def test_inv_absorption(self):
+        c = build("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = AND(a, b)\nz = NOT(x)\n")
+        assert techmap(c).cell_histogram() == {"NAND2": 1}
+
+    def test_double_inverter_to_buf(self):
+        c = build("INPUT(a)\nOUTPUT(z)\nx = NOT(a)\nz = NOT(x)\n")
+        assert techmap(c).cell_histogram() == {"BUF": 1}
+
+    def test_fanout_blocks_absorption(self):
+        """An inner gate with fanout > 1 must survive."""
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nOUTPUT(w)\n"
+            "x = AND(a, b)\nz = OR(x, c)\nw = BUFF(x)\n"
+        )
+        m = techmap(c)
+        assert "AND2" in m.cell_histogram()
+        assert equivalent(c, m)
+
+    def test_output_net_not_absorbed(self):
+        """An inner gate driving a primary output must survive."""
+        c = build(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nOUTPUT(x)\n"
+            "x = AND(a, b)\nz = OR(x, c)\n"
+        )
+        m = techmap(c)
+        assert "AND2" in m.cell_histogram()
+        assert equivalent(c, m)
+
+
+class TestUnmap:
+    def test_ao22_decomposition(self):
+        c = Circuit("u")
+        for n in "abcd":
+            c.add_input(n)
+        c.add_gate("AO22", "z", {"A": "a", "B": "b", "C": "c", "D": "d"})
+        c.add_output("z")
+        u = unmap(c)
+        assert equivalent(c, u)
+        assert all(
+            not inst.cell.is_complex or inst.cell.name.startswith("X")
+            for inst in u.instances.values()
+        )
+
+    def test_xor_passthrough(self):
+        c = Circuit("u")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("XOR2", "z", {"A": "a", "B": "b"})
+        c.add_output("z")
+        u = unmap(c)
+        assert equivalent(c, u)
+
+    def test_mux_decomposition(self):
+        c = Circuit("u")
+        for n in ("a", "b", "s"):
+            c.add_input(n)
+        c.add_gate("MUX2", "z", {"A": "a", "B": "b", "S": "s"})
+        c.add_output("z")
+        assert equivalent(c, unmap(c))
+
+    def test_inverting_complex_cell(self):
+        c = Circuit("u")
+        for n in "abcd":
+            c.add_input(n)
+        c.add_gate("OAI22", "z", {"A": "a", "B": "b", "C": "c", "D": "d"})
+        c.add_output("z")
+        assert equivalent(c, unmap(c))
+
+
+class TestExpandXor:
+    def test_equivalence(self):
+        from repro.netlist.generate import ecc_corrector
+        from repro.netlist.techmap import expand_xor
+
+        c = ecc_corrector(8)
+        x = expand_xor(c)
+        assert equivalent(c, x, vectors=256)
+
+    def test_no_xor_left(self):
+        from repro.netlist.techmap import expand_xor
+
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("XOR2", "p", {"A": "a", "B": "b"})
+        c.add_gate("XNOR2", "q", {"A": "a", "B": "p"})
+        c.add_output("q")
+        x = expand_xor(c)
+        assert equivalent(c, x)
+        assert all("X" not in inst.cell.name for inst in x.instances.values())
+
+    def test_xor_count_grows_by_three_per_gate(self):
+        from repro.netlist.techmap import expand_xor
+
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("XOR2", "z", {"A": "a", "B": "b"})
+        c.add_output("z")
+        assert expand_xor(c).num_gates == 4
+
+
+class TestEquivalenceChecker:
+    def test_detects_difference(self):
+        a = build("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")
+        b = build("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = OR(a, b)\n")
+        assert not equivalent(a, b)
+
+    def test_different_interfaces(self):
+        a = build("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+        b = build("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")
+        assert not equivalent(a, b)
+
+
+class TestRandomizedEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_techmap_preserves_function(self, seed):
+        c = random_dag(f"tm{seed}", 10, 40, seed=seed)
+        m = techmap(c)
+        assert equivalent(c, m, vectors=128, seed=seed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_unmap_inverts_techmap(self, seed):
+        c = random_dag(f"um{seed}", 10, 40, seed=seed)
+        m = techmap(c)
+        u = unmap(m)
+        assert equivalent(m, u, vectors=128, seed=seed)
+
+    def test_mapping_reduces_gate_count(self):
+        c = random_dag("shrink", 20, 150, seed=11)
+        m = techmap(c)
+        assert m.num_gates <= c.num_gates

@@ -1,0 +1,71 @@
+"""Tests for bubbled-input (B-variant) mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.generate import random_dag
+from repro.netlist.techmap import equivalent, techmap, unmap
+
+
+class TestBubblePatterns:
+    @pytest.mark.parametrize(
+        "keyword,expected",
+        [
+            ("AND", "AND2B"),
+            ("OR", "OR2B"),
+            ("NAND", "NAND2B"),
+            ("NOR", "NOR2B"),
+        ],
+    )
+    def test_inverter_on_first_input(self, keyword, expected):
+        c = parse_bench(
+            f"INPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = NOT(a)\nz = {keyword}(x, b)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {expected: 1}
+        assert equivalent(c, m)
+
+    def test_inverter_on_second_input_swaps_pins(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = NOT(b)\nz = AND(a, x)\n"
+        )
+        m = techmap(c)
+        assert m.cell_histogram() == {"AND2B": 1}
+        inst = next(iter(m.instances.values()))
+        assert inst.pins["A"] == "b"  # the inverted operand lands on A
+        assert equivalent(c, m)
+
+    def test_shared_inverter_not_absorbed(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\n"
+            "x = NOT(a)\nz = AND(x, b)\nw = BUFF(x)\n"
+        )
+        m = techmap(c)
+        assert "INV" in m.cell_histogram()
+        assert equivalent(c, m)
+
+    def test_cluster_patterns_win_over_bubble(self):
+        """AO22 extraction is preferred over absorbing inverters."""
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(z)\n"
+            "x = AND(a, b)\ny = AND(c, d)\nz = OR(x, y)\n"
+        )
+        assert techmap(c).cell_histogram() == {"AO22": 1}
+
+    def test_unmap_decomposes_b_cells(self):
+        c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nx = NOT(a)\nz = NOR(x, b)\n"
+        )
+        m = techmap(c)
+        assert "NOR2B" in m.cell_histogram()
+        u = unmap(m)
+        assert equivalent(m, u)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_equivalence_with_bubbles(self, seed):
+        c = random_dag(f"bb{seed}", 10, 50, seed=seed)
+        m = techmap(c)
+        assert equivalent(c, m, vectors=128, seed=seed)

@@ -1,0 +1,80 @@
+"""Unit tests for the structural-Verilog reader/writer."""
+
+import pytest
+
+from repro.netlist.generate import c17, random_dag
+from repro.netlist.techmap import equivalent, techmap
+from repro.netlist.verilog import VerilogParseError, parse_verilog, write_verilog
+
+SAMPLE = """
+// a comment
+module top (N1, N2, Z);
+  input N1, N2;
+  output Z;
+  wire n10; /* block
+  comment */
+  NAND2 U1 (.A(N1), .B(N2), .Z(n10));
+  INV U2 (.A(n10), .Z(Z));
+endmodule
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        c = parse_verilog(SAMPLE)
+        assert c.name == "top"
+        assert c.num_gates == 2
+        assert c.simulate({"N1": 1, "N2": 1})["Z"] == 1
+        assert c.simulate({"N1": 0, "N2": 1})["Z"] == 0
+
+    def test_unknown_cell(self):
+        with pytest.raises(VerilogParseError, match="unknown cell"):
+            parse_verilog(SAMPLE.replace("NAND2", "MYSTERY3"))
+
+    def test_no_module(self):
+        with pytest.raises(VerilogParseError, match="no module"):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogParseError, match="endmodule"):
+            parse_verilog("module m (a); input a;")
+
+    def test_positional_rejected(self):
+        bad = """
+        module m (a, z);
+          input a; output z;
+          INV U1 (a, z);
+        endmodule
+        """
+        with pytest.raises(VerilogParseError, match="positional"):
+            parse_verilog(bad)
+
+    def test_unconnected_output(self):
+        bad = """
+        module m (a, z);
+          input a; output z;
+          INV U1 (.A(a));
+        endmodule
+        """
+        with pytest.raises(VerilogParseError, match="output pin"):
+            parse_verilog(bad)
+
+
+class TestRoundTrip:
+    def test_c17(self):
+        c = c17()
+        again = parse_verilog(write_verilog(c))
+        assert equivalent(c, again)
+
+    def test_mapped_circuit_with_complex_cells(self):
+        c = techmap(random_dag("vrt", 12, 60, seed=3))
+        text = write_verilog(c)
+        assert "AO" in text or "OA" in text or "AOI" in text or "NAND" in text
+        again = parse_verilog(text)
+        assert equivalent(c, again, vectors=128)
+
+    def test_writer_declares_all_wires(self):
+        c = c17()
+        text = write_verilog(c)
+        assert "wire" in text
+        assert text.strip().endswith("endmodule")

@@ -1,0 +1,35 @@
+"""The public package surface: lazy exports resolve and are stable."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None, name
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        for name in ("TruePathSTA", "TwoStepSTA", "GraphSTA",
+                     "characterize_library", "default_library"):
+            assert name in listing
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_resolved_names_cached(self):
+        first = repro.TruePathSTA
+        assert repro.__dict__["TruePathSTA"] is first
+
+    def test_headline_types_are_correct(self):
+        from repro.core.sta import TruePathSTA as direct
+
+        assert repro.TruePathSTA is direct

@@ -1,0 +1,146 @@
+"""Unit tests for the cell-level electrical testbench."""
+
+import pytest
+
+from repro.gates.library import default_library
+from repro.spice.cellsim import (
+    CellSimulator,
+    input_capacitance,
+    mean_input_capacitance,
+)
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["90nm"]
+
+
+@pytest.fixture(scope="module")
+def inv_sim(lib, tech):
+    return CellSimulator(lib["INV"], tech, steps_per_window=250)
+
+
+class TestInputCapacitance:
+    def test_inv(self, lib, tech):
+        cin = input_capacitance(lib["INV"], "A", tech)
+        expected = (1.0 + tech.pmos_ratio) * tech.nmos.c_gate
+        assert cin == pytest.approx(expected)
+
+    def test_unknown_pin(self, lib, tech):
+        with pytest.raises(ValueError):
+            input_capacitance(lib["INV"], "Q", tech)
+
+    def test_mean(self, lib, tech):
+        mean = mean_input_capacitance(lib["AO22"], tech)
+        per_pin = [input_capacitance(lib["AO22"], p, tech) for p in "ABCD"]
+        assert mean == pytest.approx(sum(per_pin) / 4)
+
+    def test_xor_pin_cap_includes_internal_inverter(self, lib, tech):
+        xor_cin = input_capacitance(lib["XOR2"], "A", tech)
+        nand_cin = input_capacitance(lib["NAND2"], "A", tech)
+        assert xor_cin > nand_cin
+
+
+class TestPropagation:
+    def test_inverter_delay_positive(self, inv_sim, lib):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        r = inv_sim.propagation("A", vec, True, t_in=40e-12, c_load=4e-15)
+        assert 1e-12 < r.delay < 1e-9
+        assert r.out_slew > 0
+        assert r.out_rising is False  # inverter flips a rising input
+
+    def test_polarity_non_inverting(self, lib, tech):
+        buf = lib["BUF"]
+        sim = CellSimulator(buf, tech, steps_per_window=250)
+        vec = buf.sensitization_vectors("A")[0]
+        r = sim.propagation("A", vec, True, t_in=40e-12, c_load=4e-15)
+        assert r.out_rising is True
+
+    def test_delay_grows_with_load(self, inv_sim, lib):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        delays = [
+            inv_sim.propagation("A", vec, False, t_in=40e-12, c_load=c).delay
+            for c in (1e-15, 4e-15, 12e-15)
+        ]
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_slew_grows_with_load(self, inv_sim, lib):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        slews = [
+            inv_sim.propagation("A", vec, False, t_in=40e-12, c_load=c).out_slew
+            for c in (1e-15, 12e-15)
+        ]
+        assert slews[0] < slews[1]
+
+    def test_delay_grows_with_input_slew(self, inv_sim, lib):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        fast = inv_sim.propagation("A", vec, True, t_in=10e-12, c_load=4e-15)
+        slow = inv_sim.propagation("A", vec, True, t_in=200e-12, c_load=4e-15)
+        assert slow.delay > fast.delay
+
+    def test_hotter_is_slower(self, inv_sim, lib):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        cold = inv_sim.propagation("A", vec, True, 40e-12, 4e-15, temp=0.0)
+        hot = inv_sim.propagation("A", vec, True, 40e-12, 4e-15, temp=125.0)
+        assert hot.delay > cold.delay
+
+    def test_lower_vdd_is_slower(self, inv_sim, lib, tech):
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        nom = inv_sim.propagation("A", vec, True, 40e-12, 4e-15)
+        low = inv_sim.propagation("A", vec, True, 40e-12, 4e-15,
+                                  vdd=0.9 * tech.vdd)
+        assert low.delay > nom.delay
+
+    def test_wrong_vector_pin_rejected(self, inv_sim, lib):
+        ao22 = lib["AO22"]
+        vec = ao22.sensitization_vectors("B")[0]
+        with pytest.raises(ValueError, match="does not sensitize"):
+            inv_sim.propagation("A", vec, True, 40e-12, 1e-15)
+
+    def test_explicit_waveform_input(self, inv_sim, lib, tech):
+        import numpy as np
+
+        vec = lib["INV"].sensitization_vectors("A")[0]
+        times = np.linspace(0, 4e-10, 100)
+        values = np.clip((times - 5e-11) / 5e-11, 0, 1) * tech.vdd
+        r = inv_sim.propagation(
+            "A", vec, True, t_in=0.0, c_load=4e-15,
+            input_waveform={"times": times, "values": values},
+        )
+        assert r.delay > 0
+
+
+class TestVectorDependence:
+    """The paper's central phenomenon, as a regression test."""
+
+    def test_ao22_case1_fastest_on_fall(self, lib, tech):
+        ao22 = lib["AO22"]
+        sim = CellSimulator(ao22, tech, steps_per_window=250)
+        load = sim.same_gate_load()
+        delays = {
+            v.case: sim.propagation("A", v, False, 50e-12, load).delay
+            for v in ao22.sensitization_vectors("A")
+        }
+        assert delays[1] < delays[3] < delays[2]  # Table 3 ordering
+
+    def test_oa12_case3_fastest_on_rise(self, lib, tech):
+        oa12 = lib["OA12"]
+        sim = CellSimulator(oa12, tech, steps_per_window=250)
+        load = sim.same_gate_load()
+        delays = {
+            v.case: sim.propagation("C", v, True, 50e-12, load).delay
+            for v in oa12.sensitization_vectors("C")
+        }
+        assert delays[3] < delays[2] < delays[1]  # Table 4 ordering
+
+    def test_same_gate_load(self, lib, tech):
+        sim = CellSimulator(lib["AO22"], tech)
+        assert sim.same_gate_load() == pytest.approx(
+            input_capacitance(lib["AO22"], "A", tech)
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.spice.measure import (
+    MeasurementError,
+    cross_time,
+    propagation_delay,
+    settled,
+    transition_time,
+)
+
+
+def linear_edge(rising=True, start=1.0, span=2.0, vdd=1.0, n=201, total=5.0):
+    times = np.linspace(0.0, total, n)
+    if rising:
+        wave = np.clip((times - start) / span, 0.0, 1.0) * vdd
+    else:
+        wave = (1.0 - np.clip((times - start) / span, 0.0, 1.0)) * vdd
+    return times, wave
+
+
+class TestCrossTime:
+    def test_rising_interpolated(self):
+        t, v = linear_edge(rising=True)
+        assert cross_time(t, v, 0.5, rising=True) == pytest.approx(2.0, rel=1e-6)
+
+    def test_falling(self):
+        t, v = linear_edge(rising=False)
+        assert cross_time(t, v, 0.5, rising=False) == pytest.approx(2.0, rel=1e-6)
+
+    def test_after_skips_early_crossings(self):
+        t = np.linspace(0, 10, 1001)
+        v = np.sin(t)  # rises through 0.5 near 0.52 and again near 6.8
+        first = cross_time(t, v, 0.5, rising=True)
+        second = cross_time(t, v, 0.5, rising=True, after=first + 1.0)
+        assert second > first + 3.0
+
+    def test_no_crossing_raises(self):
+        t, v = linear_edge(rising=True)
+        with pytest.raises(MeasurementError, match="falling"):
+            cross_time(t, v, 0.5, rising=False)
+
+
+class TestTransitionTime:
+    def test_linear_ramp_10_90(self):
+        t, v = linear_edge(rising=True, span=2.0)
+        assert transition_time(t, v, rising=True, vdd=1.0) == pytest.approx(
+            1.6, rel=1e-6
+        )
+
+    def test_falling(self):
+        t, v = linear_edge(rising=False, span=1.0)
+        assert transition_time(t, v, rising=False, vdd=1.0) == pytest.approx(
+            0.8, rel=1e-6
+        )
+
+
+class TestPropagationDelay:
+    def test_shifted_edges(self):
+        t, vin = linear_edge(rising=True, start=1.0, span=1.0)
+        _t, vout = linear_edge(rising=False, start=2.0, span=1.0)
+        d = propagation_delay(t, vin, vout, in_rising=True, out_rising=False,
+                              vdd=1.0)
+        assert d == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSettled:
+    def test_settled_true(self):
+        wave = np.concatenate([np.linspace(0, 1, 50), np.ones(20)])
+        assert settled(wave, 1.0, 0.01)
+
+    def test_settled_false(self):
+        wave = np.linspace(0, 1, 50)
+        assert not settled(wave, 1.0, 0.01)

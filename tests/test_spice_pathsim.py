@@ -1,0 +1,102 @@
+"""Tests for chained full-path electrical simulation."""
+
+import numpy as np
+import pytest
+
+from repro.gates.library import default_library
+from repro.spice.cellsim import CellSimulator, input_capacitance
+from repro.spice.pathsim import PathSimulator, PathStage, _crop_edge
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["90nm"]
+
+
+class TestCropEdge:
+    def test_crops_leading_flat(self, tech):
+        times = np.linspace(0, 1e-9, 101)
+        wave = np.where(times < 5e-10, 0.0, tech.vdd)
+        cropped = _crop_edge(times, wave, tech.vdd)
+        assert cropped["times"][0] == 0.0
+        assert cropped["times"][-1] < 6e-10
+        assert cropped["values"][-1] == pytest.approx(tech.vdd)
+
+    def test_flat_wave_unchanged(self, tech):
+        times = np.linspace(0, 1e-9, 11)
+        wave = np.zeros(11)
+        cropped = _crop_edge(times, wave, tech.vdd)
+        assert len(cropped["times"]) == 11
+
+
+class TestChains:
+    def test_inverter_chain_polarity(self, lib, tech):
+        inv = lib["INV"]
+        vec = inv.sensitization_vectors("A")[0]
+        load = input_capacitance(inv, "A", tech)
+        stages = [PathStage(inv, "A", vec, load) for _ in range(4)]
+        sim = PathSimulator(tech, steps_per_window=250)
+        result = sim.run(stages, input_rising=True, t_in_first=40e-12)
+        assert result.output_rising is True  # even number of inversions
+        assert len(result.gate_delays) == 4
+        assert result.path_delay == pytest.approx(sum(result.gate_delays))
+
+    def test_chain_delay_roughly_additive(self, lib, tech):
+        """A 4-stage identical chain's stages settle to similar delays
+        (slews converge), so total ~ 4x the steady-state stage delay."""
+        inv = lib["INV"]
+        vec = inv.sensitization_vectors("A")[0]
+        load = input_capacitance(inv, "A", tech)
+        sim = PathSimulator(tech, steps_per_window=250)
+        result = sim.run([PathStage(inv, "A", vec, load)] * 6, True, 40e-12)
+        late = result.gate_delays[3:]
+        assert max(late) / min(late) < 1.6
+
+    def test_mixed_cells(self, lib, tech):
+        nand = lib["NAND2"]
+        ao22 = lib["AO22"]
+        load = input_capacitance(nand, "A", tech)
+        stages = [
+            PathStage(nand, "A", nand.sensitization_vectors("A")[0],
+                      input_capacitance(ao22, "A", tech)),
+            PathStage(ao22, "A", ao22.sensitization_vectors("A")[1], load),
+            PathStage(nand, "B", nand.sensitization_vectors("B")[0], load),
+        ]
+        sim = PathSimulator(tech, steps_per_window=250)
+        result = sim.run(stages, input_rising=False, t_in_first=40e-12)
+        # NAND inverts, AO22 doesn't, NAND inverts: falling -> rising -> rising -> falling
+        assert result.output_rising is False
+        assert all(d > 0 for d in result.gate_delays)
+
+    def test_empty_path_rejected(self, tech):
+        with pytest.raises(ValueError, match="empty"):
+            PathSimulator(tech).run([], True, 1e-11)
+
+    def test_cell_simulator_cache(self, lib, tech):
+        sim = PathSimulator(tech)
+        inv = lib["INV"]
+        assert sim._sim(inv) is sim._sim(inv)
+
+    def test_vector_dependence_visible_at_path_level(self, lib, tech):
+        """Chaining preserves the case-2-slower-than-case-1 effect."""
+        ao22 = lib["AO22"]
+        inv = lib["INV"]
+        load = input_capacitance(inv, "A", tech)
+        sim = PathSimulator(tech, steps_per_window=250)
+        def path_delay(case):
+            stages = [
+                PathStage(inv, "A", inv.sensitization_vectors("A")[0],
+                          input_capacitance(ao22, "A", tech)),
+                PathStage(ao22, "A", ao22.sensitization_vectors("A")[case - 1],
+                          load),
+                PathStage(inv, "A", inv.sensitization_vectors("A")[0], load),
+            ]
+            return sim.run(stages, input_rising=True, t_in_first=40e-12).path_delay
+
+        assert path_delay(2) > path_delay(1)

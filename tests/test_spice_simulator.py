@@ -1,0 +1,151 @@
+"""Unit tests for the transient solver and device model."""
+
+import numpy as np
+import pytest
+
+from repro.gates.library import default_library
+from repro.spice.simulator import (
+    TransientSolver,
+    _nmos_iv,
+    constant,
+    ramp,
+    sampled,
+)
+from repro.spice.topology import build_topology
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["90nm"]
+
+
+class TestWaveforms:
+    def test_ramp(self):
+        w = ramp(0.0, 1.0, t_start=1e-9, span=1e-9)
+        assert w(0.0) == 0.0
+        assert w(1.5e-9) == pytest.approx(0.5)
+        assert w(3e-9) == 1.0
+
+    def test_falling_ramp(self):
+        w = ramp(1.2, 0.0, t_start=0.0, span=2e-9)
+        assert w(1e-9) == pytest.approx(0.6)
+
+    def test_constant(self):
+        assert constant(0.7)(123.0) == 0.7
+
+    def test_sampled_interpolates_and_clamps(self):
+        w = sampled([0.0, 1.0, 2.0], [0.0, 1.0, 0.5])
+        assert w(0.5) == pytest.approx(0.5)
+        assert w(-1.0) == 0.0
+        assert w(9.0) == 0.5
+
+
+class TestDeviceModel:
+    BETA = 1e-4
+    VT = 0.3
+
+    def test_cutoff(self):
+        i, *_ = _nmos_iv(vg=0.2, va=1.0, vb=0.0, beta=self.BETA, vt=self.VT)
+        assert i == 0.0
+
+    def test_conducts_above_vt(self):
+        i, *_ = _nmos_iv(vg=1.0, va=1.0, vb=0.0, beta=self.BETA, vt=self.VT)
+        assert i > 0
+
+    def test_symmetry(self):
+        """Swapping source/drain flips the current sign."""
+        i_ab, *_ = _nmos_iv(1.0, 0.8, 0.2, self.BETA, self.VT)
+        i_ba, *_ = _nmos_iv(1.0, 0.2, 0.8, self.BETA, self.VT)
+        assert i_ab == pytest.approx(-i_ba)
+
+    def test_zero_vds_zero_current(self):
+        i, *_ = _nmos_iv(1.0, 0.5, 0.5, self.BETA, self.VT)
+        assert i == pytest.approx(0.0, abs=1e-15)
+
+    def test_linear_saturation_continuity(self):
+        vov = 1.0 - self.VT
+        below, *_ = _nmos_iv(1.0, vov - 1e-6, 0.0, self.BETA, self.VT)
+        above, *_ = _nmos_iv(1.0, vov + 1e-6, 0.0, self.BETA, self.VT)
+        assert below == pytest.approx(above, rel=1e-3)
+
+    def test_monotone_in_vgs(self):
+        currents = [
+            _nmos_iv(vg, 1.0, 0.0, self.BETA, self.VT)[0]
+            for vg in np.linspace(0.0, 1.2, 13)
+        ]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_jacobian_matches_finite_difference(self):
+        eps = 1e-7
+        for vg, va, vb in [(0.9, 0.7, 0.1), (0.8, 0.2, 0.9), (1.1, 1.0, 0.0)]:
+            i0, dg, da, db = _nmos_iv(vg, va, vb, self.BETA, self.VT)
+            for k, (dv, grad) in enumerate(
+                [((eps, 0, 0), dg), ((0, eps, 0), da), ((0, 0, eps), db)]
+            ):
+                i1, *_ = _nmos_iv(vg + dv[0], va + dv[1], vb + dv[2],
+                                  self.BETA, self.VT)
+                assert (i1 - i0) / eps == pytest.approx(grad, rel=1e-3, abs=1e-9)
+
+
+class TestTransient:
+    def test_inverter_switches(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        solver = TransientSolver(
+            topo, tech,
+            forced={"A": ramp(0.0, tech.vdd, 50e-12, 50e-12)},
+            c_load=2e-15,
+        )
+        times, traces = solver.run(1e-9, dt=1e-12)
+        out = traces["Z"]
+        assert out[0] == pytest.approx(tech.vdd, abs=0.05)
+        assert out[-1] == pytest.approx(0.0, abs=0.05)
+
+    def test_inverter_rise(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        solver = TransientSolver(
+            topo, tech,
+            forced={"A": ramp(tech.vdd, 0.0, 50e-12, 50e-12)},
+            c_load=2e-15,
+        )
+        _times, traces = solver.run(1e-9, dt=1e-12)
+        assert traces["Z"][-1] == pytest.approx(tech.vdd, abs=0.05)
+
+    def test_dc_matches_logic(self, lib, tech):
+        """DC solution of a NAND2 agrees with the boolean function."""
+        topo = build_topology(lib["NAND2"], tech)
+        for a, b, expected in [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]:
+            solver = TransientSolver(
+                topo, tech,
+                forced={"A": constant(a * tech.vdd), "B": constant(b * tech.vdd)},
+                c_load=1e-15,
+            )
+            v = solver.solve_dc()
+            z = v[solver.unknown_nodes.index("Z")]
+            assert z == pytest.approx(expected * tech.vdd, abs=0.08), (a, b)
+
+    def test_missing_pin_rejected(self, lib, tech):
+        topo = build_topology(lib["NAND2"], tech)
+        with pytest.raises(ValueError, match="unforced"):
+            TransientSolver(topo, tech, forced={"A": constant(0.0)})
+
+    def test_vdd_override(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        solver = TransientSolver(
+            topo, tech, forced={"A": constant(0.0)}, c_load=1e-15, vdd=0.9
+        )
+        v = solver.solve_dc()
+        assert v[solver.unknown_nodes.index("Z")] == pytest.approx(0.9, abs=0.05)
+
+    def test_record_subset(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        solver = TransientSolver(
+            topo, tech, forced={"A": constant(0.0)}, c_load=1e-15
+        )
+        _t, traces = solver.run(1e-10, dt=1e-12, record=["Z"])
+        assert list(traces) == ["Z"]

@@ -1,0 +1,119 @@
+"""Unit tests for transistor network construction."""
+
+import pytest
+
+from repro.gates.library import default_library
+from repro.spice.topology import GND_NODE, VDD_NODE, build_topology, _dual
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return TECHNOLOGIES["130nm"]
+
+
+class TestDual:
+    def test_series_parallel_swap(self):
+        assert _dual(("s", "A", "B")) == ("p", "A", "B")
+        assert _dual(("p", ("s", "A", "B"), "C")) == ("s", ("p", "A", "B"), "C")
+
+    def test_leaf(self):
+        assert _dual("!A") == "!A"
+
+
+class TestInverter:
+    def test_device_count(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        assert len(topo.transistors) == 2
+        kinds = sorted(t.kind for t in topo.transistors)
+        assert kinds == ["n", "p"]
+
+    def test_pmos_wider(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        nmos = next(t for t in topo.transistors if t.kind == "n")
+        pmos = next(t for t in topo.transistors if t.kind == "p")
+        assert pmos.width == pytest.approx(tech.pmos_ratio * nmos.width)
+
+    def test_rails_connected(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        nodes = {t.a for t in topo.transistors} | {t.b for t in topo.transistors}
+        assert VDD_NODE in nodes and GND_NODE in nodes and "Z" in nodes
+
+
+class TestComplexGates:
+    def test_nand2_stack(self, lib, tech):
+        topo = build_topology(lib["NAND2"], tech)
+        assert len(topo.transistors) == 4
+        # The series NMOS stack creates exactly one internal node.
+        internal = [n for n in topo.nodes() if n.startswith("x")]
+        assert len(internal) == 1
+        # Stacked devices are widened to compensate series resistance.
+        nmos = [t for t in topo.transistors if t.kind == "n"]
+        assert all(t.width == pytest.approx(2.0) for t in nmos)
+
+    def test_ao22_structure(self, lib, tech):
+        topo = build_topology(lib["AO22"], tech)
+        # AOI22 core (8) + output inverter (2).
+        assert len(topo.transistors) == 10
+        assert "Y" in topo.nodes()
+        inv_devices = [t for t in topo.transistors if t.gate == "Y"]
+        assert len(inv_devices) == 2
+
+    def test_oa12_pdn_series_parallel(self, lib, tech):
+        topo = build_topology(lib["OA12"], tech)
+        # PDN of (A+B)*C: nC in series with (nA || nB).
+        nmos = [t for t in topo.transistors if t.kind == "n" and t.gate in "ABC"]
+        assert len(nmos) == 3
+        by_gate = {t.gate: t for t in nmos}
+        # nA and nB share both terminals (parallel).
+        assert {by_gate["A"].a, by_gate["A"].b} == {by_gate["B"].a, by_gate["B"].b}
+
+    def test_xor_internal_inverters(self, lib, tech):
+        topo = build_topology(lib["XOR2"], tech)
+        # 8 core + 2x2 input inverters + 2 output inverter = 14
+        assert len(topo.transistors) == 14
+        inverted_nodes = [n for n in topo.nodes() if "_n" in n]
+        assert len(inverted_nodes) == 2
+
+    def test_no_model_cell(self, tech):
+        from repro.gates.cell import Cell
+        from repro.gates.logic import BoolFunc
+
+        bare = Cell("BARE", ["A"], BoolFunc.projection(1, 0))
+        with pytest.raises(ValueError, match="transistor-level"):
+            build_topology(bare, tech)
+
+
+class TestCapacitances:
+    def test_all_internal_nodes_have_caps(self, lib, tech):
+        for name in ("INV", "NAND3", "AO22", "XOR2", "MUX2"):
+            topo = build_topology(lib[name], tech)
+            caps = topo.capacitances(tech)
+            for node in topo.nodes():
+                if node in (VDD_NODE, GND_NODE):
+                    assert node not in caps
+                else:
+                    assert caps[node] > 0, (name, node)
+
+    def test_load_added_at_output(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        bare = topo.capacitances(tech)["Z"]
+        loaded = topo.capacitances(tech, c_load=5e-15)["Z"]
+        assert loaded == pytest.approx(bare + 5e-15)
+
+    def test_gate_width_on_pin(self, lib, tech):
+        topo = build_topology(lib["INV"], tech)
+        assert topo.gate_width_on_pin("A") == pytest.approx(1.0 + tech.pmos_ratio)
+
+    def test_output_inverter_width_follows_tech(self, lib):
+        t65 = TECHNOLOGIES["65nm"]
+        topo = build_topology(lib["AND2"], t65)
+        inv_nmos = next(
+            t for t in topo.transistors if t.gate == "Y" and t.kind == "n"
+        )
+        assert inv_nmos.width == pytest.approx(t65.out_inv_width)

@@ -1,0 +1,68 @@
+"""Coverage for waveform plumbing in the electrical testbench."""
+
+import numpy as np
+import pytest
+
+from repro.gates.library import default_library
+from repro.spice.cellsim import CellSimulator
+from repro.spice.pathsim import PathSimulator, PathStage
+from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lib = default_library()
+    tech = TECHNOLOGIES["90nm"]
+    inv = lib["INV"]
+    sim = CellSimulator(inv, tech, steps_per_window=250)
+    vec = inv.sensitization_vectors("A")[0]
+    result = sim.propagation("A", vec, True, t_in=40e-12, c_load=4e-15)
+    return lib, tech, inv, vec, result
+
+
+class TestPropagationResult:
+    def test_waveform_accessor(self, setup):
+        *_, result = setup
+        wf = result.output_waveform()
+        assert set(wf) == {"times", "values"}
+        assert len(wf["times"]) == len(wf["values"])
+
+    def test_waveform_monotone_time(self, setup):
+        *_, result = setup
+        times = result.output_waveform()["times"]
+        assert np.all(np.diff(times) > 0)
+
+    def test_output_settles_at_rail(self, setup):
+        _lib, tech, *_ , result = setup
+        assert result.out_wave[-1] == pytest.approx(0.0, abs=0.03 * tech.vdd)
+
+    def test_input_trace_recorded(self, setup):
+        _lib, tech, *_, result = setup
+        assert result.in_wave[0] == pytest.approx(0.0, abs=1e-3)
+        assert result.in_wave[-1] == pytest.approx(tech.vdd, rel=1e-3)
+
+
+class TestChainedWaveforms:
+    def test_second_stage_sees_real_edge(self, setup):
+        """Chained simulation feeds the measured waveform, so the second
+        stage's delay differs from a fresh-ramp measurement when the
+        first stage's slew differs from the nominal ramp."""
+        lib, tech, inv, vec, _result = setup
+        heavy = 20e-15  # slow first stage -> degraded slew into stage 2
+        ps = PathSimulator(tech, steps_per_window=250)
+        chain = ps.run(
+            [PathStage(inv, "A", vec, heavy), PathStage(inv, "A", vec, 4e-15)],
+            input_rising=True, t_in_first=20e-12,
+        )
+        fresh = CellSimulator(inv, tech, steps_per_window=250).propagation(
+            "A", vec, True, t_in=20e-12, c_load=4e-15
+        )
+        assert chain.gate_delays[1] > fresh.delay  # slew degradation
+
+    def test_polarity_chain(self, setup):
+        lib, tech, inv, vec, _result = setup
+        ps = PathSimulator(tech, steps_per_window=250)
+        for stages, expected in [(1, False), (2, True), (3, False)]:
+            result = ps.run([PathStage(inv, "A", vec, 4e-15)] * stages,
+                            input_rising=True, t_in_first=30e-12)
+            assert result.output_rising is expected
