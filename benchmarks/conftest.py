@@ -3,15 +3,32 @@
 Characterized libraries are disk-cached; the first cold run spends a few
 minutes per technology in the transistor-level characterizer, subsequent
 runs load JSON.
+
+Every benchmark runs against a freshly reset observability registry and
+attaches the resulting metrics snapshot to ``benchmark.extra_info``, so
+``--benchmark-json`` outputs (the ``BENCH_*.json`` trajectory) carry
+search-effort counters -- extensions, conflicts, justification
+backtracks, arc evaluations -- next to the wall-clock numbers.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.charlib.characterize import FAST_GRID, characterize_library
 from repro.gates.library import default_library
 from repro.tech.presets import TECHNOLOGIES
+
+
+@pytest.fixture(autouse=True)
+def _metrics_snapshot(request):
+    """Reset the metrics registry per benchmark and attach the snapshot."""
+    obs.reset()
+    yield
+    if "benchmark" in request.fixturenames:
+        benchmark = request.getfixturevalue("benchmark")
+        benchmark.extra_info["metrics"] = obs.snapshot()
 
 
 def _poly(tech):

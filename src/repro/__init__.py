@@ -22,6 +22,8 @@ The package provides:
   the comparison baseline.
 * :mod:`repro.eval` -- experiment runners that regenerate every table of
   the paper's evaluation.
+* :mod:`repro.obs` -- observability substrate: structured logging, the
+  process-wide metrics registry and near-zero-overhead span tracing.
 
 Top-level names are resolved lazily (PEP 562) so that importing one
 subsystem does not pull in the whole package.
@@ -58,6 +60,9 @@ _EXPORTS = {
     "write_liberty": "repro.charlib.liberty",
     "read_liberty": "repro.charlib.liberty",
     "write_sdf": "repro.netlist.sdf",
+    "get_logger": "repro.obs.logging",
+    "span": "repro.obs.tracing",
+    "MetricsRegistry": "repro.obs.metrics",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

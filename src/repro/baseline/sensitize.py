@@ -69,6 +69,10 @@ class TwoStepSensitizer:
         self.ec = ec
         self.calc = calc
         self.backtrack_limit = backtrack_limit
+        #: Search-effort counters across this sensitizer's lifetime
+        #: (plain attributes; the owning tool publishes them).
+        self.vectors_committed = 0
+        self.vectors_rejected = 0
 
     # ------------------------------------------------------------------
     def check(self, spath: StructuralPath) -> SensitizeOutcome:
@@ -116,8 +120,10 @@ class TwoStepSensitizer:
                     ok = result is JustifyResult.SAT
                 if ok:
                     committed = option
+                    self.vectors_committed += 1
                     break
                 state.rollback(mark)
+                self.vectors_rejected += 1
                 budget_used += 1
                 if (
                     self.backtrack_limit is not None

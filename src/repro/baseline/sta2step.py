@@ -19,17 +19,28 @@ from repro.core.delaycalc import DEFAULT_INPUT_SLEW, DelayCalculator
 from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
 from repro.netlist.circuit import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
+
+_END_OF_PATHS = object()
 
 
 @dataclass
 class TwoStepReport:
-    """Counters matching the commercial-tool columns of Table 6."""
+    """Counters matching the commercial-tool columns of Table 6.
+
+    Like :class:`repro.core.pathfinder.SearchStats`, the counters are
+    plain attributes during the run and :meth:`publish` mirrors them
+    into the metrics registry under ``baseline.*`` so developed-vs-
+    baseline search effort is directly comparable in one snapshot.
+    """
 
     backtrack_limit: Optional[int]
     paths_explored: int = 0
     true_paths: int = 0
     declared_false: int = 0
     backtrack_limited: int = 0
+    justification_backtracks: int = 0
     cpu_seconds: float = 0.0
     results: List[SensitizeOutcome] = field(default_factory=list)
     structural_paths: List[StructuralPath] = field(default_factory=list)
@@ -52,6 +63,25 @@ class TwoStepReport:
             "aborted": self.backtrack_limited,
             "no_vector_ratio": round(self.no_vector_ratio, 3),
         }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "paths_explored": self.paths_explored,
+            "true_paths": self.true_paths,
+            "declared_false": self.declared_false,
+            "backtrack_limited": self.backtrack_limited,
+            "justification_backtracks": self.justification_backtracks,
+            "cpu_seconds": self.cpu_seconds,
+        }
+
+    def publish(self, circuit: Optional[str] = None) -> None:
+        registry = obs_metrics.REGISTRY
+        for name, value in self.as_dict().items():
+            registry.counter(f"baseline.{name}").inc(max(value, 0))
+            if circuit:
+                registry.counter(f"baseline.{name}", circuit=circuit).inc(
+                    max(value, 0)
+                )
 
 
 class TwoStepSTA:
@@ -102,9 +132,20 @@ class TwoStepSTA:
         (the commercial tool's path-count knob) and sensitize each."""
         report = TwoStepReport(backtrack_limit=self.backtrack_limit)
         started = time.perf_counter()
-        for spath in self.enumerator.iter_paths(limit=max_structural_paths):
-            outcome = self.sensitizer.check(spath)
+        arc_evals_before = self.calc.arc_evaluations
+        structural = self.enumerator.iter_paths(limit=max_structural_paths)
+        while True:
+            # Pull structural candidates and sensitize them under
+            # separate spans so the two-step cost split (enumerate vs.
+            # check) is visible next to the developed tool's profile.
+            with span("baseline.structural"):
+                spath = next(structural, _END_OF_PATHS)
+            if spath is _END_OF_PATHS:
+                break
+            with span("baseline.sensitize"):
+                outcome = self.sensitizer.check(spath)
             report.paths_explored += 1
+            report.justification_backtracks += outcome.backtracks
             report.results.append(outcome)
             report.structural_paths.append(spath)
             if outcome.status is PathStatus.TRUE:
@@ -114,6 +155,21 @@ class TwoStepSTA:
             else:
                 report.backtrack_limited += 1
         report.cpu_seconds = time.perf_counter() - started
+        name = self.circuit.name
+        report.publish(name)
+        registry = obs_metrics.REGISTRY
+        for metric, value in (
+            ("baseline.vectors_committed", self.sensitizer.vectors_committed),
+            ("baseline.vectors_rejected", self.sensitizer.vectors_rejected),
+        ):
+            # Register even when zero so the snapshot schema is stable.
+            registry.counter(metric).inc(value)
+            registry.counter(metric, circuit=name).inc(value)
+        self.sensitizer.vectors_committed = 0
+        self.sensitizer.vectors_rejected = 0
+        delta = self.calc.arc_evaluations - arc_evals_before
+        registry.counter("delaycalc.arc_evaluations").inc(delta)
+        registry.counter("delaycalc.arc_evaluations", circuit=name).inc(delta)
         return report
 
     def true_paths(self, report: TwoStepReport) -> List[TimedPath]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,10 +31,15 @@ from repro.charlib.regression import fit_adaptive, fit_fixed
 from repro.charlib.store import BLIND, CharacterizedLibrary, TimingArc, cache_dir
 from repro.gates.cell import Cell, SensitizationVector
 from repro.gates.library import Library
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
 from repro.spice.cellsim import CellSimulator, input_capacitance
 from repro.tech.technology import Technology
 
 _PS = 1e-12
+
+_log = get_logger("repro.charlib")
 
 
 @dataclass(frozen=True)
@@ -163,7 +169,7 @@ def _fit_models(samples: List[Dict], model: str, grid: CharacterizationGrid,
             slew_model, _ = fit_adaptive(
                 points, slews, target_rel_error=target_rel_error
             )
-        return delay_model, slew_model, delay_report.orders
+        return delay_model, slew_model, delay_report.orders, delay_report
     if model == "lut":
         ref_temp = grid.temp[len(grid.temp) // 2]
         ref_vdd = grid.vdd_scale[len(grid.vdd_scale) // 2] * tech.vdd
@@ -173,7 +179,7 @@ def _fit_models(samples: List[Dict], model: str, grid: CharacterizationGrid,
         slew_model = LutModel.from_samples(
             samples, grid.t_in, grid.fo, "out_slew", ref_temp, ref_vdd
         )
-        return delay_model, slew_model, None
+        return delay_model, slew_model, None, None
     raise ValueError(f"unknown model {model!r}")
 
 
@@ -214,7 +220,14 @@ def characterize_library(
     digest = hashlib.sha256(key_blob.encode()).hexdigest()[:20]
     cache_path = cache_dir() / f"charlib_{digest}.json"
     if use_cache and cache_path.exists():
+        obs_metrics.counter("charlib.cache_hits").inc()
+        _log.info("cache.hit", key=digest, path=str(cache_path),
+                  tech=tech.name, model=model, vector_mode=vector_mode)
         return CharacterizedLibrary.load(cache_path)
+    if use_cache:
+        obs_metrics.counter("charlib.cache_misses").inc()
+        _log.info("cache.miss", key=digest, tech=tech.name, model=model,
+                  vector_mode=vector_mode, cells=len(cell_names))
 
     arcs: List[TimingArc] = []
     input_caps: Dict[str, Dict[str, float]] = {}
@@ -225,14 +238,35 @@ def characterize_library(
         input_caps[name] = {
             pin: input_capacitance(cell, pin, tech) for pin in cell.inputs
         }
-        sweeps = characterize_cell(
-            cell, tech, grid, vector_mode=vector_mode,
-            steps_per_window=steps_per_window,
-        )
-        for (pin, vector_id, input_rising), samples in sweeps.items():
-            delay_model, slew_model, orders = _fit_models(
-                samples, model, grid, tech, target_rel_error, fixed_orders
+        cell_started = time.perf_counter()
+        with span("charlib.characterize_cell"):
+            sweeps = characterize_cell(
+                cell, tech, grid, vector_mode=vector_mode,
+                steps_per_window=steps_per_window,
             )
+        sim_seconds = time.perf_counter() - cell_started
+        fit_seconds = 0.0
+        for (pin, vector_id, input_rising), samples in sweeps.items():
+            fit_started = time.perf_counter()
+            with span("charlib.fit"):
+                delay_model, slew_model, orders, report = _fit_models(
+                    samples, model, grid, tech, target_rel_error, fixed_orders
+                )
+            fit_elapsed = time.perf_counter() - fit_started
+            fit_seconds += fit_elapsed
+            obs_metrics.histogram("charlib.fit_seconds", cell=name).observe(
+                fit_elapsed
+            )
+            if report is not None:
+                obs_metrics.histogram(
+                    "charlib.fit_max_rel_error", cell=name
+                ).observe(report.max_rel_error)
+                _log.debug(
+                    "fit.done", cell=name, pin=pin, vector=vector_id,
+                    input_rising=input_rising, orders=list(report.orders),
+                    max_rel_error=round(report.max_rel_error, 5),
+                    seconds=round(fit_elapsed, 4),
+                )
             out_rising = samples[0]["out_rising"]
             arc = TimingArc(
                 cell=name,
@@ -246,6 +280,12 @@ def characterize_library(
             arcs.append(arc)
             if orders is not None:
                 orders_meta[arc.key] = list(orders)
+        obs_metrics.histogram("charlib.cell_seconds", cell=name).observe(
+            sim_seconds + fit_seconds
+        )
+        _log.info("cell.characterized", cell=name,
+                  sim_s=round(sim_seconds, 3), fit_s=round(fit_seconds, 3),
+                  arcs=len(sweeps))
 
     result = CharacterizedLibrary(
         tech_name=tech.name,

@@ -4,6 +4,7 @@ Analyze a netlist file with either tool::
 
     python -m repro.cli analyze circuit.bench --tech 90nm --top 10
     python -m repro.cli analyze design.v --tool baseline --required 500
+    python -m repro.cli analyze circuit.bench --profile --metrics-json m.json
     python -m repro.cli stats circuit.bench
 
 ``.bench`` files are parsed as ISCAS benchmarks (and technology-mapped
@@ -14,11 +15,18 @@ structural Verilog using library cell names directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
-from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro import obs
+from repro.charlib.characterize import (
+    CharacterizationGrid,
+    FAST_GRID,
+    characterize_library,
+)
+from repro.charlib.store import CharacterizedLibrary
 from repro.core.report import format_slack_report, paths_to_json, slack_report
 from repro.gates.library import default_library
 from repro.netlist.bench import parse_bench
@@ -26,6 +34,14 @@ from repro.netlist.circuit import Circuit
 from repro.netlist.techmap import techmap
 from repro.netlist.verilog import parse_verilog
 from repro.tech.presets import TECHNOLOGIES
+
+_log = obs.get_logger("repro.cli")
+
+#: In-process characterization memo: repeat ``main()`` invocations (or
+#: analyzing several netlists in one process) skip even the JSON load
+#: of the on-disk cache.  Keyed on everything that selects a library.
+_CharlibKey = Tuple[str, str, CharacterizationGrid, str, str]
+_CHARLIB_MEMO: Dict[_CharlibKey, CharacterizedLibrary] = {}
 
 
 def load_circuit(path: str, map_to_complex: bool = True) -> Circuit:
@@ -38,21 +54,78 @@ def load_circuit(path: str, map_to_complex: bool = True) -> Circuit:
     return techmap(circuit) if map_to_complex else circuit
 
 
+def cached_charlib(
+    library,
+    tech,
+    grid: CharacterizationGrid = FAST_GRID,
+    model: str = "polynomial",
+    vector_mode: str = "all",
+) -> CharacterizedLibrary:
+    """Memoized :func:`characterize_library` for CLI invocations."""
+    key = (library.name, tech.name, grid, model, vector_mode)
+    cached = _CHARLIB_MEMO.get(key)
+    if cached is not None:
+        obs.counter("cli.charlib_memo_hits").inc()
+        _log.info("charlib_memo.hit", library=library.name, tech=tech.name,
+                  model=model, vector_mode=vector_mode)
+        return cached
+    obs.counter("cli.charlib_memo_misses").inc()
+    _log.info("charlib_memo.miss", library=library.name, tech=tech.name,
+              model=model, vector_mode=vector_mode)
+    charlib = characterize_library(
+        library, tech, grid=grid, model=model, vector_mode=vector_mode
+    )
+    _CHARLIB_MEMO[key] = charlib
+    return charlib
+
+
+def _setup_obs(args) -> None:
+    if getattr(args, "log_level", None):
+        obs.configure_logging(level=args.log_level,
+                              jsonl_path=getattr(args, "log_json", None))
+    if getattr(args, "profile", False):
+        obs.tracing.enable()
+
+
+def _finish_obs(args) -> int:
+    if getattr(args, "profile", False):
+        print()
+        print(obs.tracing.render())
+        snapshot = obs.metrics.snapshot()
+        if snapshot:
+            print("\nmetrics:")
+            for key, value in snapshot.items():
+                if isinstance(value, dict):
+                    value = (f"count={value['count']} sum={value['sum']:.4g} "
+                             f"mean={value['mean']:.4g} max={value['max']:.4g}")
+                print(f"  {key:<48s} {value}")
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json:
+        try:
+            Path(metrics_json).write_text(json.dumps(obs.snapshot(), indent=2))
+        except OSError as exc:
+            print(f"\nerror: cannot write metrics snapshot: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nwrote metrics snapshot to {metrics_json}")
+    return 0
+
+
 def _analyze(args) -> int:
+    _setup_obs(args)
     circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
     tech = TECHNOLOGIES[args.tech]
     library = default_library()
     if args.tool == "developed":
-        charlib = characterize_library(library, tech, grid=FAST_GRID)
+        charlib = cached_charlib(library, tech)
         from repro.core.sta import TruePathSTA
 
         sta = TruePathSTA(circuit, charlib)
         paths = sta.enumerate_paths(max_paths=args.max_paths)
         print(sta.report(paths, limit=args.top))
     else:
-        charlib = characterize_library(
-            library, tech, grid=FAST_GRID, model="lut", vector_mode="default"
-        )
+        charlib = cached_charlib(library, tech, model="lut",
+                                 vector_mode="default")
         from repro.baseline.sta2step import TwoStepSTA
 
         tool = TwoStepSTA(circuit, charlib,
@@ -71,7 +144,7 @@ def _analyze(args) -> int:
     if args.json:
         Path(args.json).write_text(paths_to_json(paths, indent=2))
         print(f"\nwrote {len(paths)} paths to {args.json}")
-    return 0
+    return _finish_obs(args)
 
 
 def _stats(args) -> int:
@@ -100,6 +173,15 @@ def main(argv: Optional[list] = None) -> int:
                          help="dump the path list to this JSON file")
     analyze.add_argument("--no-map", action="store_true",
                          help="skip technology mapping of .bench input")
+    analyze.add_argument("--log-level", default=None,
+                         choices=["debug", "info", "warning", "error"],
+                         help="enable structured logging at this level")
+    analyze.add_argument("--log-json", default=None, metavar="PATH",
+                         help="also write JSONL log records to PATH")
+    analyze.add_argument("--profile", action="store_true",
+                         help="trace spans and print a span/metric tree")
+    analyze.add_argument("--metrics-json", default=None, metavar="PATH",
+                         help="write the metrics+span snapshot to PATH")
     analyze.set_defaults(func=_analyze)
 
     stats = sub.add_parser("stats", help="print netlist statistics")

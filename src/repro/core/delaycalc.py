@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.charlib.fanout import WireLoadModel, output_load
 from repro.charlib.store import BLIND, CharacterizedLibrary
 from repro.core.engine import EngineCircuit, EngineGate
+from repro.obs.tracing import span
 
 #: Default input transition time applied at primary inputs (seconds).
 DEFAULT_INPUT_SLEW = 40e-12
@@ -40,6 +41,10 @@ class DelayCalculator:
         self.input_slew = input_slew
         self.vector_blind = vector_blind
         self.wire = wire
+        #: Model evaluations served (plain attribute -- the search loop
+        #: is too hot for registry traffic; callers publish the delta
+        #: to ``delaycalc.arc_evaluations`` at the end of a run).
+        self.arc_evaluations: int = 0
         #: Pre-resolved equivalent fanout per gate index.
         self.fo: List[float] = []
         circuit = ec.circuit
@@ -71,6 +76,7 @@ class DelayCalculator:
     ) -> Tuple[float, float]:
         """(delay, output slew) of one traversal, in seconds."""
         lookup_id = BLIND if self.vector_blind else vector_id
+        self.arc_evaluations += 1
         arc = self.charlib.arc(
             gate.cell.name, pin, lookup_id, input_rising, output_rising
         )
@@ -109,11 +115,12 @@ class DelayCalculator:
         """Per-net upper bound on the worst delay from that net to any
         primary output (reverse-topological longest path with
         worst-case gate delays).  Admissible for N-worst pruning."""
-        bounds = [0.0] * self.ec.num_nets
-        for gate in reversed(self.ec.gates):
-            worst = self.worst_gate_delay(gate)
-            downstream = bounds[gate.output_net] + worst
-            for net in gate.input_nets:
-                if downstream > bounds[net]:
-                    bounds[net] = downstream
-        return bounds
+        with span("delaycalc.remaining_bounds"):
+            bounds = [0.0] * self.ec.num_nets
+            for gate in reversed(self.ec.gates):
+                worst = self.worst_gate_delay(gate)
+                downstream = bounds[gate.output_net] + worst
+                for net in gate.input_nets:
+                    if downstream > bounds[net]:
+                        bounds[net] = downstream
+            return bounds

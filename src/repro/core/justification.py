@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.engine import EngineState
+from repro.obs.tracing import span
 
 
 class JustifyResult(enum.Enum):
@@ -79,6 +80,9 @@ class Justifier:
         #: Backtracks consumed across the Justifier's lifetime (the
         #: baseline shares one budget across a whole path check).
         self.backtracks = 0
+        #: Cube applications attempted (plain attribute; callers fold
+        #: it into their own search-effort metrics).
+        self.cubes_tried = 0
 
     def _cubes(self, net: int, required: int) -> List:
         from repro.core.logic_values import Value9
@@ -146,6 +150,10 @@ class Justifier:
 
     def justify(self) -> JustifyResult:
         """Resolve every pending obligation; see class docstring."""
+        with span("justify.solve"):
+            return self._justify()
+
+    def _justify(self) -> JustifyResult:
         state = self.state
         entry_mark = state.checkpoint()
         stack: List[_Frame] = []
@@ -168,6 +176,7 @@ class Justifier:
             advanced = False
             for cube in frame.cubes:
                 state.rollback(frame.mark)
+                self.cubes_tried += 1
                 if not self._cube_compatible(cube):
                     continue
                 if self._apply_cube(cube):

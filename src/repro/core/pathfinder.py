@@ -41,23 +41,47 @@ from repro.core.engine import (
 from repro.core.justification import Justifier, JustifyResult
 from repro.core.logic_values import Value9
 from repro.core.path import PathStep, PolarityTiming, TimedPath
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracing import span
 
 
 @dataclass
 class SearchStats:
-    """Counters exposed by one search run."""
+    """Counters exposed by one search run.
+
+    The hot loop updates plain attributes (free); :meth:`publish`
+    mirrors them into the process-wide :mod:`repro.obs.metrics`
+    registry as ``pathfinder.*`` counters, both unlabeled and labeled
+    with the circuit name, publishing only the delta since the last
+    call so repeated searches accumulate correctly.
+    """
 
     paths_found: int = 0
     extensions_tried: int = 0
     conflicts: int = 0
     justification_backtracks: int = 0
+    justification_cubes: int = 0
     justification_aborts: int = 0
     states_saved: int = 0
     pruned: int = 0
     cpu_seconds: float = 0.0
+    _published: Dict[str, float] = field(default_factory=dict, repr=False)
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.__dict__)
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+
+    def publish(self, circuit: Optional[str] = None) -> None:
+        registry = obs_metrics.REGISTRY
+        for name, value in self.as_dict().items():
+            delta = value - self._published.get(name, 0)
+            # Register even zero-valued counters so a snapshot always
+            # shows the full pathfinder effort schema.
+            registry.counter(f"pathfinder.{name}").inc(max(delta, 0))
+            if circuit:
+                registry.counter(f"pathfinder.{name}", circuit=circuit).inc(
+                    max(delta, 0)
+                )
+            self._published[name] = value
 
 
 @dataclass
@@ -150,6 +174,7 @@ class PathFinder:
         in declaration order).
         """
         started = time.perf_counter()
+        arc_evals_before = self.calc.arc_evaluations
         try:
             origin_ids = (
                 self.ec.input_ids
@@ -162,6 +187,14 @@ class PathFinder:
                     return
         finally:
             self.stats.cpu_seconds += time.perf_counter() - started
+            name = self.ec.circuit.name
+            self.stats.publish(name)
+            delta = self.calc.arc_evaluations - arc_evals_before
+            # Register even a zero delta so the snapshot schema is stable.
+            obs_metrics.REGISTRY.counter("delaycalc.arc_evaluations").inc(delta)
+            obs_metrics.REGISTRY.counter(
+                "delaycalc.arc_evaluations", circuit=name
+            ).inc(delta)
 
     def _done(self) -> bool:
         return self.max_paths is not None and self.stats.paths_found >= self.max_paths
@@ -211,7 +244,8 @@ class PathFinder:
                 if self._prune(frame, gate):
                     self.stats.pruned += 1
                     continue
-                arc = self._apply(state, frame, gate, pin, option)
+                with span("pathfinder.step"):
+                    arc = self._apply(state, frame, gate, pin, option)
                 if arc is None:
                     self.stats.conflicts += 1
                     continue
@@ -269,21 +303,24 @@ class PathFinder:
             # Global re-solve per polarity: complete, immune to stale
             # justification commitments from earlier steps.
             sensitizable = set()
-            for comp in frame.arc.timing:
-                if not state.alive[comp]:
-                    continue
-                vector = self._check_polarity(comp, requirements)
-                if vector is not None:
-                    sensitizable.add(comp)
-                    input_vectors[comp] = vector
+            with span("pathfinder.justify"):
+                for comp in frame.arc.timing:
+                    if not state.alive[comp]:
+                        continue
+                    vector = self._check_polarity(comp, requirements)
+                    if vector is not None:
+                        sensitizable.add(comp)
+                        input_vectors[comp] = vector
             if not sensitizable:
                 return None
         else:
-            justifier = Justifier(
-                state, backtrack_limit=self.justify_backtrack_limit
-            )
-            result = justifier.justify()
+            with span("pathfinder.justify"):
+                justifier = Justifier(
+                    state, backtrack_limit=self.justify_backtrack_limit
+                )
+                result = justifier.justify()
             self.stats.justification_backtracks += justifier.backtracks
+            self.stats.justification_cubes += justifier.cubes_tried
             if result is JustifyResult.ABORTED:
                 self.stats.justification_aborts += 1
                 return None
@@ -295,21 +332,23 @@ class PathFinder:
 
         out_net = gate.output_net
         timing: Dict[int, Tuple[float, float]] = {}
-        for comp, (arrival, slew) in frame.arc.timing.items():
-            if comp not in sensitizable:
-                continue
-            in_value = state.values[comp][frame.net]
-            out_value = state.values[comp][out_net]
-            if not Value9.is_transition(in_value) or not Value9.is_transition(
-                out_value
-            ):
-                continue
-            input_rising = in_value == Value9.RISE
-            output_rising = out_value == Value9.RISE
-            delay, out_slew = self.calc.arc_timing(
-                gate, pin, option.vector.vector_id, input_rising, output_rising, slew
-            )
-            timing[comp] = (arrival + delay, out_slew)
+        with span("pathfinder.delaycalc"):
+            for comp, (arrival, slew) in frame.arc.timing.items():
+                if comp not in sensitizable:
+                    continue
+                in_value = state.values[comp][frame.net]
+                out_value = state.values[comp][out_net]
+                if not Value9.is_transition(in_value) or not Value9.is_transition(
+                    out_value
+                ):
+                    continue
+                input_rising = in_value == Value9.RISE
+                output_rising = out_value == Value9.RISE
+                delay, out_slew = self.calc.arc_timing(
+                    gate, pin, option.vector.vector_id, input_rising,
+                    output_rising, slew
+                )
+                timing[comp] = (arrival + delay, out_slew)
         if not timing:
             return None
         step = PathStep(
@@ -351,6 +390,7 @@ class PathFinder:
         )
         result = justifier.justify()
         self.stats.justification_backtracks += justifier.backtracks
+        self.stats.justification_cubes += justifier.cubes_tried
         if result is JustifyResult.ABORTED:
             self.stats.justification_aborts += 1
             return None

@@ -20,6 +20,7 @@ from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
 from repro.core.pathfinder import PathFinder, SearchStats
 from repro.netlist.circuit import Circuit
+from repro.obs.tracing import span
 
 
 class TruePathSTA:
@@ -80,7 +81,8 @@ class TruePathSTA:
 
     def enumerate_paths(self, **kwargs) -> List[TimedPath]:
         """All true paths x sensitization-vector combinations."""
-        return list(self.iter_paths(**kwargs))
+        with span("pathfinder.search"):
+            return list(self.iter_paths(**kwargs))
 
     def n_worst_paths(self, n: int, prune: bool = True, **kwargs) -> List[TimedPath]:
         """The N slowest true paths, worst first.

@@ -15,8 +15,11 @@ results are cached on disk afterwards.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
+from repro import obs
 from repro.charlib.characterize import CharacterizationGrid, characterize_library
 from repro.gates.library import default_library
 from repro.tech.presets import TECHNOLOGIES
@@ -29,6 +32,30 @@ def _charlibs(tech, grid=None):
     lut = characterize_library(library, tech, grid=grid, model="lut",
                                vector_mode="default")
     return poly, lut
+
+
+def _finish(args, result) -> int:
+    """Common epilogue: print the experiment text, attach and emit the
+    observability snapshot."""
+    if isinstance(result, dict):
+        result["metrics"] = obs.snapshot()
+        print(result["text"])
+    else:
+        print(result)
+    if args.profile:
+        print()
+        print(obs.tracing.render())
+    if args.metrics_json:
+        try:
+            Path(args.metrics_json).write_text(
+                json.dumps(obs.snapshot(), indent=2)
+            )
+        except OSError as exc:
+            print(f"\nerror: cannot write metrics snapshot: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nwrote metrics snapshot to {args.metrics_json}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -49,50 +76,60 @@ def main(argv=None) -> int:
                         help="electrically simulated paths per circuit")
     parser.add_argument("--max-dev-paths", type=int, default=20000)
     parser.add_argument("--backtrack-limit", type=int, default=1000)
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable structured logging at this level")
+    parser.add_argument("--profile", action="store_true",
+                        help="trace spans and print the span tree")
+    parser.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="write the metrics+span snapshot to PATH")
     args = parser.parse_args(argv)
+
+    if args.log_level:
+        obs.configure_logging(level=args.log_level)
+    if args.profile:
+        obs.tracing.enable()
 
     tech = TECHNOLOGIES[args.tech]
 
     if args.experiment == "tables12":
         from repro.eval import exp_tables12
 
-        print(exp_tables12.run()["text"])
-        return 0
+        return _finish(args, exp_tables12.run())
     if args.experiment == "tables34":
         from repro.eval import exp_tables34
 
-        print(exp_tables34.run(steps_per_window=args.steps)["text"])
-        return 0
+        return _finish(args, exp_tables34.run(steps_per_window=args.steps))
     if args.experiment == "fig23":
         from repro.eval import exp_fig23
 
-        print(exp_fig23.run(tech=tech)["text"])
-        return 0
+        return _finish(args, exp_fig23.run(tech=tech))
     if args.experiment == "simultaneous":
         from repro.eval import exp_simultaneous
 
-        print(exp_simultaneous.skew_sweep(tech,
-                                          steps_per_window=args.steps)["text"])
-        return 0
+        return _finish(
+            args, exp_simultaneous.skew_sweep(tech, steps_per_window=args.steps)
+        )
     if args.experiment == "pvt":
         from repro.eval.exp_pvt import characterize_pvt, corner_analysis
         from repro.eval.fig4 import fig4_circuit
 
         cells = ["INV", "BUF", "NAND2", "AND2", "AO22"]
         charlib = characterize_pvt(tech, cells, steps_per_window=args.steps)
-        print(corner_analysis(fig4_circuit(), charlib, tech)["text"])
-        return 0
+        return _finish(args, corner_analysis(fig4_circuit(), charlib, tech))
 
     poly, lut = _charlibs(tech)
     if args.experiment == "table5":
         from repro.eval import exp_table5
 
-        print(exp_table5.run(tech, poly, lut, steps_per_window=args.steps)["text"])
-        return 0
+        return _finish(
+            args, exp_table5.run(tech, poly, lut, steps_per_window=args.steps)
+        )
     if args.experiment == "table6":
         from repro.eval import exp_table6
 
-        print(
+        return _finish(
+            args,
             exp_table6.run(
                 poly,
                 lut,
@@ -100,9 +137,8 @@ def main(argv=None) -> int:
                 scale=args.scale,
                 backtrack_limit=args.backtrack_limit,
                 max_dev_paths=args.max_dev_paths,
-            )["text"]
+            ),
         )
-        return 0
     if args.experiment == "gba":
         from repro.core.graphsta import GraphSTA, gba_pessimism
         from repro.core.sta import TruePathSTA
@@ -124,16 +160,16 @@ def main(argv=None) -> int:
                     f"{row['true'] * 1e12:.1f}",
                     f"{row['pessimism'] * 100:+.1f}%",
                 ])
-        print(render_table(
+        return _finish(args, render_table(
             ["circuit", "endpoint", "GBA (ps)", "true worst (ps)",
              "pessimism"], rows,
             title="Graph-based vs true-path endpoint arrivals",
         ))
-        return 0
     if args.experiment == "accuracy":
         from repro.eval import exp_accuracy
 
-        print(
+        return _finish(
+            args,
             exp_accuracy.run(
                 tech,
                 poly,
@@ -142,9 +178,8 @@ def main(argv=None) -> int:
                 scale=args.scale,
                 paths_per_circuit=args.paths,
                 steps_per_window=args.steps,
-            )["text"]
+            ),
         )
-        return 0
     return 1
 
 

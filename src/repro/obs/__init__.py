@@ -1,0 +1,77 @@
+"""Observability substrate: structured logging, metrics, span tracing.
+
+Three cooperating pieces, all process-wide:
+
+* :mod:`repro.obs.logging` -- structured, level-filtered records with a
+  human sink and an optional JSONL sink;
+* :mod:`repro.obs.metrics` -- registry of counters, gauges and streaming
+  histograms with labels (``pathfinder.conflicts{circuit=c432}``);
+* :mod:`repro.obs.tracing` -- nestable ``span("justify")`` context
+  managers that compile to a shared no-op object while disabled, so the
+  hot search loop pays ~zero overhead by default.
+
+Typical driver usage (this is what ``repro.cli --profile`` does)::
+
+    from repro import obs
+
+    obs.reset()
+    obs.tracing.enable()
+    ...run the analysis...
+    print(obs.tracing.render())
+    json.dump(obs.snapshot(), open("metrics.json", "w"))
+
+``snapshot()`` merges the metrics registry and the flat span aggregates
+into one JSON-serializable dict: metric keys at the top level plus a
+``"spans"`` entry mapping span names to count/total/mean seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.obs import logging, metrics, tracing
+from repro.obs.logging import Logger, configure as configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.tracing import span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MetricsRegistry",
+    "REGISTRY",
+    "configure_logging",
+    "counter",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "logging",
+    "metrics",
+    "reset",
+    "snapshot",
+    "span",
+    "tracing",
+]
+
+
+def snapshot() -> Dict[str, object]:
+    """Merged metrics + span aggregates, ready for ``json.dump``."""
+    data: Dict[str, object] = dict(metrics.snapshot())
+    data["spans"] = tracing.aggregates()
+    return data
+
+
+def reset() -> None:
+    """Clear the metrics registry and the span tree (one run's worth)."""
+    metrics.reset()
+    tracing.reset()

@@ -1,0 +1,233 @@
+"""Process-wide metrics registry: counters, gauges, streaming histograms.
+
+Every metric is identified by a dotted name plus an optional set of
+string labels (``counter("pathfinder.conflicts", circuit="c432")``).
+Lookups are memoized, so the idiomatic pattern for hot code is to
+resolve the metric object once and call ``inc()``/``observe()`` on the
+plain Python object -- an attribute update, no dictionary traffic.
+
+Counters are monotone accumulators (ints or floats), gauges hold the
+last value set, and histograms keep streaming summaries (count, sum,
+min, max) plus power-of-two magnitude buckets from which approximate
+percentiles are read back.  ``snapshot()`` flattens the whole registry
+into a JSON-serializable dict keyed ``name`` or ``name{k=v,...}``.
+
+A single process-wide default registry lives at :data:`REGISTRY`; the
+module-level ``counter``/``gauge``/``histogram``/``snapshot``/``reset``
+helpers operate on it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: (name, sorted label items) -> metric instance key.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _labels_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_key(name: str, labels: Dict[str, str]) -> str:
+    """Human/JSON form: ``name`` or ``name{k=v,k2=v2}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in _labels_key(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """Holds the most recently set value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def as_value(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values.
+
+    Exact count/sum/min/max; approximate percentiles from power-of-two
+    magnitude buckets (each observation lands in the bucket of its
+    binary exponent, so relative bucket error is bounded by 2x -- ample
+    for timing breakdowns spanning orders of magnitude).
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        #: binary exponent -> observation count (exponent None for <= 0).
+        self.buckets: Dict[Optional[int], int] = {}
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        exponent = math.frexp(value)[1] if value > 0.0 else None
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0..100): upper edge of the
+        bucket holding the q-th observation."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        ordered = sorted(
+            self.buckets.items(), key=lambda kv: -math.inf if kv[0] is None else kv[0]
+        )
+        for exponent, n in ordered:
+            seen += n
+            if seen >= rank:
+                if exponent is None:
+                    return min(self.vmax, 0.0)
+                return min(self.vmax, math.ldexp(1.0, exponent))
+        return self.vmax
+
+    def as_value(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Registry of named metrics; creation is thread-safe and memoized.
+
+    Updates on the returned metric objects are plain attribute writes
+    (atomic enough under the GIL for counting); only registration takes
+    the lock.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[_Key, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: Dict[str, str]) -> Metric:
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, dict(labels))
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {format_key(name, labels)} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat JSON-serializable view, sorted by key."""
+        out: Dict[str, object] = {}
+        for metric in self._metrics.values():
+            out[format_key(metric.name, metric.labels)] = metric.as_value()
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: str) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    return REGISTRY.histogram(name, **labels)
+
+
+def snapshot() -> Dict[str, object]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

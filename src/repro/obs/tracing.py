@@ -1,0 +1,193 @@
+"""Nestable span tracing with a near-zero disabled path.
+
+``span("pathfinder.justify")`` returns a context manager.  When tracing
+is *disabled* (the default) it returns one shared no-op singleton --
+no allocation, no clock read, no stack bookkeeping -- so hot search
+loops can be instrumented unconditionally.  When *enabled* each span
+reads ``perf_counter`` on entry/exit and accumulates (count, total
+seconds) into an aggregate tree keyed by the nesting path, one node per
+distinct (parent, name) pair; a span name re-entered under the same
+parent aggregates into the same node rather than growing the tree.
+
+The tree is process-wide with a thread-local span stack, matching the
+metrics registry's process-wide model.  Read it back with
+:func:`tree` (root node), :func:`aggregates` (flat per-name dict for
+JSON export) or :func:`render` (indented text for ``--profile``).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional
+
+_enabled = False
+
+
+class SpanNode:
+    """Aggregate timing of one span name at one position in the tree."""
+
+    __slots__ = ("name", "count", "total", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_total(self) -> float:
+        """Time not attributed to any child span."""
+        return self.total - sum(c.total for c in self.children.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.total / self.count if self.count else 0.0,
+        }
+        if self.children:
+            out["children"] = {
+                name: child.as_dict() for name, child in self.children.items()
+            }
+        return out
+
+
+_root = SpanNode("")
+_local = threading.local()
+
+
+def _stack() -> List[SpanNode]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = [_root]
+        _local.stack = stack
+    return stack
+
+
+class Span:
+    """A live (enabled) span; use via :func:`span`."""
+
+    __slots__ = ("name", "_start", "_node")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self._node = stack[-1].child(self.name)
+        stack.append(self._node)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = perf_counter() - self._start
+        node = self._node
+        node.count += 1
+        node.total += elapsed
+        stack = _stack()
+        if stack[-1] is node:
+            stack.pop()
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str):
+    """Context manager timing a named region (no-op when disabled)."""
+    if not _enabled:
+        return _NOOP
+    return Span(name)
+
+
+def enable(on: bool = True) -> None:
+    global _enabled
+    _enabled = on
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans (keeps the enabled flag)."""
+    global _root
+    _root = SpanNode("")
+    _local.stack = [_root]
+
+
+def tree() -> SpanNode:
+    """The root of the aggregate span tree (its own fields are unused)."""
+    return _root
+
+
+def aggregates() -> Dict[str, Dict[str, float]]:
+    """Flat per-name totals merged across tree positions.
+
+    Keys are span names (``pathfinder.justify``); values carry
+    ``count`` / ``total_s`` / ``mean_s``.  Suitable for JSON export
+    next to a metrics snapshot.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+
+    def visit(node: SpanNode) -> None:
+        for child in node.children.values():
+            entry = merged.setdefault(
+                child.name, {"count": 0, "total_s": 0.0, "mean_s": 0.0}
+            )
+            entry["count"] += child.count
+            entry["total_s"] += child.total
+            visit(child)
+
+    visit(_root)
+    for entry in merged.values():
+        if entry["count"]:
+            entry["mean_s"] = entry["total_s"] / entry["count"]
+    return dict(sorted(merged.items()))
+
+
+def render(node: Optional[SpanNode] = None, min_fraction: float = 0.0) -> str:
+    """Indented text rendering of the span tree.
+
+    ``min_fraction`` hides nodes cheaper than that fraction of their
+    root's total (0 shows everything).
+    """
+    root = node if node is not None else _root
+    lines: List[str] = ["span tree (total seconds, calls):"]
+    roots_total = sum(c.total for c in root.children.values()) or 1.0
+
+    def visit(n: SpanNode, depth: int) -> None:
+        for child in sorted(n.children.values(), key=lambda c: -c.total):
+            if child.total / roots_total < min_fraction:
+                continue
+            pad = "  " * depth
+            lines.append(
+                f"{pad}{child.name:<{max(1, 40 - 2 * depth)}s} "
+                f"{child.total:10.4f}s  x{child.count}"
+            )
+            visit(child, depth + 1)
+
+    visit(root, 1)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded -- was tracing enabled?)")
+    return "\n".join(lines)

@@ -19,6 +19,19 @@ def library():
     return default_library()
 
 
+@pytest.fixture
+def clean_obs():
+    """Fresh observability state, restored to defaults afterwards."""
+    from repro import obs
+
+    obs.reset()
+    obs.tracing.enable(False)
+    yield obs
+    obs.reset()
+    obs.tracing.enable(False)
+    obs.configure_logging(level="warning")
+
+
 @pytest.fixture(scope="session")
 def tech90():
     return TECHNOLOGIES["90nm"]

@@ -74,3 +74,61 @@ class TestAnalyzeCommand:
         assert "slack" in out
         data = json.loads(json_path.read_text())
         assert len(data) == 11
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_span_tree(self, bench_file, capsys, clean_obs,
+                                      charlib_poly_90):
+        assert main([
+            "analyze", bench_file, "--no-map", "--tech", "90nm", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "pathfinder.justify" in out
+        assert "pathfinder.delaycalc" in out
+        assert "metrics:" in out
+
+    def test_metrics_json_snapshot(self, bench_file, tmp_path, capsys,
+                                   clean_obs, charlib_poly_90):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "analyze", bench_file, "--no-map", "--tech", "90nm",
+            "--profile", "--metrics-json", str(metrics_path),
+        ]) == 0
+        data = json.loads(metrics_path.read_text())
+        assert data["pathfinder.extensions_tried"] > 0
+        assert "pathfinder.conflicts" in data
+        assert "pathfinder.justification_backtracks" in data
+        assert data["spans"]["pathfinder.justify"]["count"] > 0
+        assert data["spans"]["pathfinder.delaycalc"]["total_s"] >= 0
+
+    def test_metrics_json_baseline_tool(self, bench_file, tmp_path, capsys,
+                                        clean_obs, charlib_lut_90):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "analyze", bench_file, "--no-map", "--tool", "baseline",
+            "--tech", "90nm", "--metrics-json", str(metrics_path),
+        ]) == 0
+        data = json.loads(metrics_path.read_text())
+        assert data["baseline.paths_explored"] > 0
+
+    def test_log_level_emits_structured_records(self, bench_file, capsys,
+                                                clean_obs, charlib_poly_90):
+        assert main([
+            "analyze", bench_file, "--no-map", "--tech", "90nm",
+            "--log-level", "info",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "charlib_memo" in err  # hit or miss, either is logged
+
+    def test_charlib_memo_hits_on_repeat(self, bench_file, capsys, clean_obs,
+                                         charlib_poly_90):
+        import repro.cli as cli
+
+        cli._CHARLIB_MEMO.clear()
+        assert main(["analyze", bench_file, "--no-map", "--tech", "90nm"]) == 0
+        assert main(["analyze", bench_file, "--no-map", "--tech", "90nm"]) == 0
+        capsys.readouterr()
+        registry = clean_obs.metrics.REGISTRY
+        assert registry.counter("cli.charlib_memo_misses").value == 1
+        assert registry.counter("cli.charlib_memo_hits").value == 1

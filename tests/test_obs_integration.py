@@ -1,0 +1,171 @@
+"""End-to-end observability: instrumented tools publish real metrics.
+
+The load-bearing property: the registry-backed counters must match the
+legacy ``SearchStats`` / ``TwoStepReport`` counters exactly, so the
+search-effort numbers in a metrics snapshot are the same numbers the
+paper's tables are built from.
+"""
+
+import pytest
+
+from repro.baseline.sta2step import TwoStepSTA
+from repro.core.sta import TruePathSTA
+from repro.netlist.generate import c17, random_dag
+from repro.netlist.techmap import techmap
+
+
+class TestPathfinderMetrics:
+    def test_counters_match_search_stats_exactly(self, clean_obs,
+                                                 charlib_poly_90):
+        circuit = c17()
+        sta = TruePathSTA(circuit, charlib_poly_90)
+        sta.enumerate_paths()
+        stats = sta.last_stats.as_dict()
+        registry = clean_obs.metrics.REGISTRY
+        assert stats["paths_found"] == 11
+        for name, value in stats.items():
+            unlabeled = registry.counter(f"pathfinder.{name}").value
+            labeled = registry.counter(f"pathfinder.{name}",
+                                       circuit="c17").value
+            if name == "cpu_seconds":
+                assert unlabeled == pytest.approx(value)
+            else:
+                assert unlabeled == value, name
+                assert labeled == value, name
+
+    def test_zero_counters_still_registered(self, clean_obs, charlib_poly_90):
+        # c17 has no conflicts; the snapshot must still carry the key.
+        TruePathSTA(c17(), charlib_poly_90).enumerate_paths()
+        snap = clean_obs.metrics.snapshot()
+        assert snap["pathfinder.conflicts"] == 0
+        assert "pathfinder.justification_backtracks" in snap
+
+    def test_two_runs_accumulate(self, clean_obs, charlib_poly_90):
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        sta.enumerate_paths()
+        first = sta.last_stats.extensions_tried
+        sta.enumerate_paths()
+        second = sta.last_stats.extensions_tried
+        counter = clean_obs.metrics.REGISTRY.counter(
+            "pathfinder.extensions_tried"
+        )
+        assert counter.value == first + second
+
+    def test_arc_evaluations_published(self, clean_obs, charlib_poly_90):
+        TruePathSTA(c17(), charlib_poly_90).enumerate_paths()
+        value = clean_obs.metrics.REGISTRY.counter(
+            "delaycalc.arc_evaluations"
+        ).value
+        assert value > 0
+
+    def test_spans_cover_justify_and_delaycalc(self, clean_obs,
+                                               charlib_poly_90):
+        clean_obs.tracing.enable()
+        try:
+            TruePathSTA(c17(), charlib_poly_90).enumerate_paths()
+        finally:
+            clean_obs.tracing.enable(False)
+        agg = clean_obs.tracing.aggregates()
+        for name in ("pathfinder.search", "pathfinder.step",
+                     "pathfinder.justify", "pathfinder.delaycalc",
+                     "justify.solve"):
+            assert name in agg, name
+            assert agg[name]["count"] > 0
+        # Nested structure: step under search, justify under step.
+        root = clean_obs.tracing.tree()
+        search = root.children["pathfinder.search"]
+        step = search.children["pathfinder.step"]
+        assert "pathfinder.justify" in step.children
+
+    def test_complete_mode_publishes_too(self, clean_obs, charlib_poly_90):
+        sta = TruePathSTA(c17(), charlib_poly_90)
+        sta.enumerate_paths(complete=True)
+        registry = clean_obs.metrics.REGISTRY
+        assert registry.counter("pathfinder.paths_found").value == 11
+        assert (registry.counter("pathfinder.justification_cubes").value
+                == sta.last_stats.justification_cubes)
+
+
+class TestBaselineMetrics:
+    def test_report_counters_published(self, clean_obs, charlib_lut_90):
+        tool = TwoStepSTA(c17(), charlib_lut_90)
+        report = tool.run(max_structural_paths=100)
+        registry = clean_obs.metrics.REGISTRY
+        for name, value in report.as_dict().items():
+            metric = registry.counter(f"baseline.{name}").value
+            if name == "cpu_seconds":
+                assert metric == pytest.approx(value)
+            else:
+                assert metric == value, name
+        assert registry.counter("baseline.paths_explored",
+                                circuit="c17").value == report.paths_explored
+
+    def test_vector_counters_published(self, clean_obs, charlib_lut_90):
+        circuit = techmap(random_dag("obsb", 10, 40, seed=3))
+        tool = TwoStepSTA(circuit, charlib_lut_90)
+        tool.run(max_structural_paths=50)
+        committed = clean_obs.metrics.REGISTRY.counter(
+            "baseline.vectors_committed"
+        ).value
+        assert committed > 0
+        # Zero-valued counters still register: schema stays stable.
+        assert "baseline.vectors_rejected" in clean_obs.metrics.snapshot()
+
+    def test_effort_split_spans(self, clean_obs, charlib_lut_90):
+        clean_obs.tracing.enable()
+        try:
+            TwoStepSTA(c17(), charlib_lut_90).run(max_structural_paths=100)
+        finally:
+            clean_obs.tracing.enable(False)
+        agg = clean_obs.tracing.aggregates()
+        assert agg["baseline.structural"]["count"] > 0
+        assert agg["baseline.sensitize"]["count"] > 0
+
+    def test_developed_vs_baseline_in_one_snapshot(self, clean_obs,
+                                                   charlib_poly_90,
+                                                   charlib_lut_90):
+        circuit = c17()
+        TruePathSTA(circuit, charlib_poly_90).enumerate_paths()
+        TwoStepSTA(circuit, charlib_lut_90).run(max_structural_paths=100)
+        snap = clean_obs.metrics.snapshot()
+        assert "pathfinder.extensions_tried" in snap
+        assert "baseline.paths_explored" in snap
+
+
+class TestCharlibMetrics:
+    def test_cache_hit_counted(self, clean_obs, library, tech90):
+        from repro.charlib.characterize import FAST_GRID, characterize_library
+
+        characterize_library(library, tech90, grid=FAST_GRID)  # warm disk
+        clean_obs.metrics.reset()
+        characterize_library(library, tech90, grid=FAST_GRID)
+        registry = clean_obs.metrics.REGISTRY
+        assert registry.counter("charlib.cache_hits").value == 1
+        assert registry.counter("charlib.cache_misses").value == 0
+
+    def test_cache_miss_records_fit_metrics(self, clean_obs, library, tech90,
+                                            tmp_path, monkeypatch):
+        from repro.charlib.characterize import FAST_GRID, characterize_library
+
+        monkeypatch.setenv("REPRO_CHAR_CACHE", str(tmp_path))
+        characterize_library(library, tech90, grid=FAST_GRID, cells=["INV"])
+        snap = clean_obs.metrics.snapshot()
+        assert snap["charlib.cache_misses"] == 1
+        assert snap["charlib.cell_seconds{cell=INV}"]["count"] == 1
+        assert snap["charlib.fit_seconds{cell=INV}"]["count"] > 0
+        assert snap["charlib.fit_max_rel_error{cell=INV}"]["max"] < 0.5
+
+
+class TestSnapshotHelper:
+    def test_combined_snapshot_shape(self, clean_obs, charlib_poly_90):
+        clean_obs.tracing.enable()
+        try:
+            TruePathSTA(c17(), charlib_poly_90).enumerate_paths()
+        finally:
+            clean_obs.tracing.enable(False)
+        combined = clean_obs.snapshot()
+        assert combined["pathfinder.paths_found"] == 11
+        assert combined["spans"]["pathfinder.justify"]["count"] > 0
+        import json
+
+        json.dumps(combined)

@@ -1,0 +1,103 @@
+"""Structured logger: level filtering, sinks, JSONL round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import logging as obslog
+
+
+@pytest.fixture
+def stream(clean_obs):
+    buffer = io.StringIO()
+    obslog.configure(level="debug", stream=buffer)
+    yield buffer
+    obslog.configure(level="warning")
+
+
+class TestLevels:
+    def test_default_level_is_warning(self, clean_obs):
+        obslog.configure(level="warning")
+        assert obslog.level() == obslog.WARNING
+
+    def test_below_level_suppressed(self, clean_obs):
+        buffer = io.StringIO()
+        obslog.configure(level="warning", stream=buffer)
+        log = obslog.get_logger("t")
+        log.debug("quiet")
+        log.info("quiet.too")
+        assert buffer.getvalue() == ""
+        log.warning("loud")
+        assert "loud" in buffer.getvalue()
+
+    def test_unknown_level_rejected(self, clean_obs):
+        with pytest.raises(ValueError):
+            obslog.configure(level="loudest")
+
+    def test_is_enabled(self, clean_obs):
+        obslog.configure(level="info")
+        log = obslog.get_logger("t")
+        assert log.is_enabled(obslog.INFO)
+        assert not log.is_enabled(obslog.DEBUG)
+
+
+class TestHumanSink:
+    def test_line_contains_logger_event_fields(self, stream):
+        obslog.get_logger("repro.test").info("cache.hit", key="abc", n=3)
+        line = stream.getvalue()
+        assert "repro.test" in line
+        assert "cache.hit" in line
+        assert "key=abc" in line and "n=3" in line
+        assert "INFO" in line
+
+    def test_one_line_per_record(self, stream):
+        log = obslog.get_logger("t")
+        log.info("a")
+        log.error("b")
+        assert len(stream.getvalue().splitlines()) == 2
+
+
+class TestJsonlSink:
+    def test_round_trip(self, clean_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obslog.configure(level="debug", stream=io.StringIO(),
+                         jsonl_path=str(path))
+        log = obslog.get_logger("repro.charlib")
+        log.info("cache.miss", tech="90nm", cells=12)
+        log.debug("fit.done", cell="AO22", max_rel_error=0.013)
+        obslog.configure(level="warning")  # closes the sink
+
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        first, second = records
+        assert first["event"] == "cache.miss"
+        assert first["logger"] == "repro.charlib"
+        assert first["level"] == "INFO"
+        assert first["tech"] == "90nm" and first["cells"] == 12
+        assert isinstance(first["ts"], float)
+        assert second["event"] == "fit.done"
+        assert second["max_rel_error"] == 0.013
+
+    def test_non_serializable_fields_stringified(self, clean_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obslog.configure(level="debug", stream=io.StringIO(),
+                         jsonl_path=str(path))
+        obslog.get_logger("t").info("odd", obj=object())
+        obslog.configure(level="warning")
+        record = json.loads(path.read_text())
+        assert "object" in record["obj"]
+
+    def test_appends_across_configures(self, clean_obs, tmp_path):
+        path = tmp_path / "run.jsonl"
+        for _ in range(2):
+            obslog.configure(level="info", stream=io.StringIO(),
+                             jsonl_path=str(path))
+            obslog.get_logger("t").info("tick")
+        obslog.configure(level="warning")
+        assert len(path.read_text().splitlines()) == 2
+
+
+class TestLoggerRegistry:
+    def test_get_logger_memoized(self, clean_obs):
+        assert obslog.get_logger("same") is obslog.get_logger("same")

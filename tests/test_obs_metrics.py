@@ -1,0 +1,142 @@
+"""Counter/gauge/histogram semantics of the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_key,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("search.steps")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_float_increments(self, registry):
+        c = registry.counter("search.seconds")
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.value == pytest.approx(0.75)
+
+    def test_rejects_decrease(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("steps").inc(-1)
+
+    def test_memoized_identity(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_labels_distinguish(self, registry):
+        c432 = registry.counter("conflicts", circuit="c432")
+        c880 = registry.counter("conflicts", circuit="c880")
+        c432.inc(3)
+        assert c432 is registry.counter("conflicts", circuit="c432")
+        assert c880.value == 0 and c432.value == 3
+
+
+class TestGauge:
+    def test_set_and_move(self, registry):
+        g = registry.gauge("queue.depth")
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g.value == 5
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_summary_statistics(self, registry):
+        h = registry.histogram("fit.seconds")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        value = h.as_value()
+        assert value["count"] == 4
+        assert value["sum"] == pytest.approx(10.0)
+        assert value["min"] == 1.0 and value["max"] == 4.0
+        assert value["mean"] == pytest.approx(2.5)
+
+    def test_percentiles_bounded_by_extremes(self, registry):
+        h = registry.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.1, 0.2):
+            h.observe(v)
+        assert h.vmin <= h.percentile(50) <= h.vmax
+        assert h.percentile(99) <= h.vmax
+        assert h.percentile(50) <= h.percentile(99)
+
+    def test_percentile_bucket_accuracy(self, registry):
+        # All mass in one power-of-two bucket: p50 within 2x of truth.
+        h = registry.histogram("tight")
+        for _ in range(100):
+            h.observe(3.0)
+        assert 3.0 <= h.percentile(50) <= 3.0  # capped at observed max
+
+    def test_nonpositive_values_counted(self, registry):
+        h = registry.histogram("signed")
+        h.observe(0.0)
+        h.observe(-1.5)
+        value = h.as_value()
+        assert value["count"] == 2 and value["min"] == -1.5
+
+    def test_empty_summary(self, registry):
+        assert registry.histogram("empty").as_value()["count"] == 0
+
+
+class TestRegistry:
+    def test_snapshot_keys_and_sorting(self, registry):
+        registry.counter("b.second").inc(2)
+        registry.counter("a.first", circuit="c17").inc(1)
+        registry.gauge("c.gauge").set(9)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["a.first{circuit=c17}"] == 1
+        assert snap["b.second"] == 2
+        assert snap["c.gauge"] == 9
+
+    def test_snapshot_histogram_is_dict(self, registry):
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["h"]["count"] == 1
+
+    def test_snapshot_json_serializable(self, registry):
+        import json
+
+        registry.counter("n", k="v").inc()
+        registry.histogram("h").observe(math.pi)
+        json.dumps(registry.snapshot())
+
+    def test_reset_clears(self, registry):
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+        assert registry.counter("x").value == 0
+
+    def test_format_key(self):
+        assert format_key("n", {}) == "n"
+        assert format_key("n", {"b": "2", "a": "1"}) == "n{a=1,b=2}"
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_share_default(self, clean_obs):
+        from repro.obs import metrics
+
+        metrics.counter("helper.test").inc(5)
+        assert metrics.REGISTRY.counter("helper.test").value == 5
+        assert metrics.snapshot()["helper.test"] == 5

@@ -1,0 +1,129 @@
+"""Span nesting, aggregation and the disabled-mode no-op path."""
+
+import time
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture
+def enabled(clean_obs):
+    tracing.enable()
+    yield
+    tracing.enable(False)
+    tracing.reset()
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self, clean_obs):
+        assert not tracing.enabled()
+
+    def test_noop_is_shared_singleton(self, clean_obs):
+        # The no-op path allocates nothing: every disabled span() call
+        # hands back the same object regardless of name.
+        a = tracing.span("pathfinder.justify")
+        b = tracing.span("anything.else")
+        assert a is b
+
+    def test_noop_records_nothing(self, clean_obs):
+        with tracing.span("ghost"):
+            pass
+        assert tracing.aggregates() == {}
+
+    def test_noop_does_not_swallow_exceptions(self, clean_obs):
+        with pytest.raises(RuntimeError):
+            with tracing.span("ghost"):
+                raise RuntimeError("boom")
+
+
+class TestEnabledMode:
+    def test_records_count_and_time(self, enabled):
+        for _ in range(3):
+            with tracing.span("work"):
+                time.sleep(0.001)
+        agg = tracing.aggregates()
+        assert agg["work"]["count"] == 3
+        assert agg["work"]["total_s"] >= 0.003
+        assert agg["work"]["mean_s"] == pytest.approx(
+            agg["work"]["total_s"] / 3
+        )
+
+    def test_nesting_builds_tree(self, enabled):
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+            with tracing.span("inner"):
+                pass
+        root = tracing.tree()
+        outer = root.children["outer"]
+        assert outer.count == 1
+        inner = outer.children["inner"]
+        assert inner.count == 2
+        assert inner.total <= outer.total
+
+    def test_same_name_same_parent_aggregates(self, enabled):
+        for _ in range(5):
+            with tracing.span("step"):
+                pass
+        assert tracing.tree().children["step"].count == 5
+        assert len(tracing.tree().children) == 1
+
+    def test_self_total_excludes_children(self, enabled):
+        with tracing.span("parent"):
+            with tracing.span("child"):
+                time.sleep(0.002)
+        parent = tracing.tree().children["parent"]
+        assert parent.self_total == pytest.approx(
+            parent.total - parent.children["child"].total
+        )
+
+    def test_exception_still_closes_span(self, enabled):
+        with pytest.raises(ValueError):
+            with tracing.span("risky"):
+                raise ValueError
+        assert tracing.aggregates()["risky"]["count"] == 1
+        # The stack unwound; a new root-level span is not nested under it.
+        with tracing.span("after"):
+            pass
+        assert "after" in tracing.tree().children
+
+    def test_aggregates_merge_across_positions(self, enabled):
+        with tracing.span("a"):
+            with tracing.span("shared"):
+                pass
+        with tracing.span("b"):
+            with tracing.span("shared"):
+                pass
+        assert tracing.aggregates()["shared"]["count"] == 2
+
+    def test_render_mentions_spans(self, enabled):
+        with tracing.span("alpha"):
+            with tracing.span("beta"):
+                pass
+        text = tracing.render()
+        assert "alpha" in text and "beta" in text
+        # Child indented deeper than parent.
+        alpha_line = next(l for l in text.splitlines() if "alpha" in l)
+        beta_line = next(l for l in text.splitlines() if "beta" in l)
+        indent = lambda s: len(s) - len(s.lstrip())
+        assert indent(beta_line) > indent(alpha_line)
+
+    def test_reset_drops_spans(self, enabled):
+        with tracing.span("x"):
+            pass
+        tracing.reset()
+        assert tracing.aggregates() == {}
+
+    def test_render_empty_tree(self, enabled):
+        tracing.reset()
+        assert "no spans" in tracing.render()
+
+    def test_span_dict_export(self, enabled):
+        with tracing.span("x"):
+            with tracing.span("y"):
+                pass
+        node = tracing.tree().children["x"]
+        exported = node.as_dict()
+        assert exported["count"] == 1
+        assert "y" in exported["children"]
