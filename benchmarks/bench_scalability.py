@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.delaycalc import DelayCalculator
 from repro.core.engine import EngineCircuit
+from repro.core.pathfinder import PathFinder
 from repro.core.sta import TruePathSTA
 from repro.netlist.generate import random_dag
 from repro.netlist.techmap import techmap
@@ -76,6 +77,49 @@ def test_preprocessing_linear(benchmark, poly90):
     ratio = (large_time / max(small_time, 1e-9))
     size_ratio = large_gates / small_gates
     assert ratio < size_ratio * 8  # near-linear with generous slack
+
+
+def test_hotpath_cache_effectiveness(benchmark, poly90):
+    """Arc cache + justify skip leave the path set unchanged while
+    eliding most of the hot-path work.
+
+    The before/after counters land in ``extra_info`` so the benchmark
+    trajectory records the cache hit rate and the number of skipped
+    justification solves next to the wall-clock numbers.
+    """
+    circuit = techmap(random_dag("scal150", 24, 150, seed=99, n_outputs=10))
+    ec = EngineCircuit(circuit)
+
+    def run(arc_cache, justify_skip):
+        calc = DelayCalculator(ec, poly90, arc_cache=arc_cache)
+        finder = PathFinder(ec, calc, justify_skip=justify_skip)
+        start = time.perf_counter()
+        with finder.find_paths() as stream:
+            paths = [p.key for p in stream]
+        return {
+            "paths": paths,
+            "seconds": time.perf_counter() - start,
+            "arc_evaluations": calc.arc_evaluations,
+            "arc_cache_hits": calc.arc_cache_hits,
+            "arc_cache_misses": calc.arc_cache_misses,
+            "justify_skipped": finder.stats.justify_skipped,
+            "justification_cubes": finder.stats.justification_cubes,
+        }
+
+    def run_both():
+        return run(False, False), run(True, True)
+
+    before, after = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert after["paths"] == before["paths"]
+    hit_rate = after["arc_cache_hits"] / max(after["arc_evaluations"], 1)
+    assert hit_rate >= 0.90
+    assert after["justify_skipped"] > 0
+    assert after["justification_cubes"] <= before["justification_cubes"]
+    for stage, row in (("before", before), ("after", after)):
+        benchmark.extra_info[f"hotpath_{stage}"] = {
+            k: v for k, v in row.items() if k != "paths"
+        }
+    benchmark.extra_info["hotpath_hit_rate"] = hit_rate
 
 
 def test_n_worst_prunes_work(benchmark, poly90):

@@ -23,11 +23,20 @@ from repro.tech.presets import TECHNOLOGIES
 
 @pytest.fixture(autouse=True)
 def _metrics_snapshot(request):
-    """Reset the metrics registry per benchmark and attach the snapshot."""
+    """Reset the metrics registry per benchmark and attach the snapshot.
+
+    The benchmark fixture must be resolved *before* the yield: this
+    autouse fixture is set up first and therefore torn down last, when
+    explicitly requested fixtures are no longer available.
+    """
     obs.reset()
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
     yield
-    if "benchmark" in request.fixturenames:
-        benchmark = request.getfixturevalue("benchmark")
+    if benchmark is not None:
         benchmark.extra_info["metrics"] = obs.snapshot()
 
 

@@ -121,7 +121,7 @@ def _analyze(args) -> int:
         from repro.core.sta import TruePathSTA
 
         sta = TruePathSTA(circuit, charlib)
-        paths = sta.enumerate_paths(max_paths=args.max_paths)
+        paths = sta.enumerate_paths(max_paths=args.max_paths, jobs=args.jobs)
         print(sta.report(paths, limit=args.top))
     else:
         charlib = cached_charlib(library, tech, model="lut",
@@ -173,6 +173,9 @@ def main(argv: Optional[list] = None) -> int:
                          help="dump the path list to this JSON file")
     analyze.add_argument("--no-map", action="store_true",
                          help="skip technology mapping of .bench input")
+    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="shard the developed tool's search across "
+                              "primary inputs in N worker processes")
     analyze.add_argument("--log-level", default=None,
                          choices=["debug", "info", "warning", "error"],
                          help="enable structured logging at this level")

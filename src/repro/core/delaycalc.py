@@ -6,19 +6,55 @@ input edge)* at the gate's actual equivalent fanout, with the slew
 propagated from the previous stage -- "the output transition time ...
 is required to compute the propagation delay of the next gate within
 the path".
+
+Hot-path layout: arc *resolution* (the ``charlib.arc`` dict-chain
+lookup) is memoized per *(cell, pin, vector, edges)* with hit/miss
+counters, so each distinct arc is resolved once per search instead of
+once per evaluation.  The N-worst pruning bound maximizes each gate's
+fitted delay over the whole *achievable* slew domain: propagated slews
+on degraded chains exceed any fixed pessimistic input slew, so bounding
+the arc delay at a single slew point is not admissible.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.charlib.fanout import WireLoadModel, output_load
-from repro.charlib.store import BLIND, CharacterizedLibrary
+from repro.charlib.store import BLIND, CharacterizedLibrary, TimingArc
 from repro.core.engine import EngineCircuit, EngineGate
+from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+
+_log = get_logger("repro.delaycalc")
 
 #: Default input transition time applied at primary inputs (seconds).
 DEFAULT_INPUT_SLEW = 40e-12
+
+#: Evaluation points per sweep when maximizing a fitted model over the
+#: bounding slew domain.  The fitted surfaces are low-order in t_in, so
+#: a dense linear sweep tracks the true maximum closely.
+BOUND_SLEW_SAMPLES = 17
+
+#: Fixed-point rounds allowed when raising the achievable-slew ceiling
+#: above the characterization grid.
+_SLEW_CEILING_ROUNDS = 6
+
+
+class MissingArcsError(LookupError):
+    """No timing arc of a gate resolves in the characterized library."""
+
+
+def _model_max(model, fo: float, slews: Tuple[float, ...], temp: float,
+               vdd: float) -> float:
+    """Maximum of a fitted model over a sweep of input slews."""
+    many = getattr(model, "evaluate_many", None)
+    if many is not None:
+        points = np.array([[fo, t_in, temp, vdd] for t_in in slews])
+        return float(np.max(many(points)))
+    return max(model.evaluate(fo, t_in, temp, vdd) for t_in in slews)
 
 
 class DelayCalculator:
@@ -33,6 +69,7 @@ class DelayCalculator:
         input_slew: float = DEFAULT_INPUT_SLEW,
         vector_blind: bool = False,
         wire: Optional[WireLoadModel] = None,
+        arc_cache: bool = True,
     ):
         self.ec = ec
         self.charlib = charlib
@@ -45,13 +82,25 @@ class DelayCalculator:
         #: is too hot for registry traffic; callers publish the delta
         #: to ``delaycalc.arc_evaluations`` at the end of a run).
         self.arc_evaluations: int = 0
+        #: Arc resolutions served from / missed by the memo (plain
+        #: attributes for the same reason; published as
+        #: ``delaycalc.arc_cache_hits`` / ``..._misses`` deltas).
+        self.arc_cache_hits: int = 0
+        self.arc_cache_misses: int = 0
         #: Pre-resolved equivalent fanout per gate index.
         self.fo: List[float] = []
         circuit = ec.circuit
         for gate in ec.gates:
             load = output_load(circuit, gate.inst, charlib, wire=wire)
             self.fo.append(load / charlib.mean_cap(gate.cell.name))
+        self._arc_cache: Optional[Dict[Tuple[str, str, str, bool, bool], TimingArc]] = (
+            {} if arc_cache else None
+        )
+        self._gate_arcs_cache: Dict[int, Tuple[TimingArc, ...]] = {}
         self._worst_delay_cache: Dict[int, float] = {}
+        self._bound_slews: Optional[Tuple[float, ...]] = None
+        self._remaining_bounds: Optional[List[float]] = None
+        self._warned_cells: Set[str] = set()
 
     def _nominal_vdd(self) -> float:
         from repro.tech.presets import TECHNOLOGIES
@@ -77,22 +126,46 @@ class DelayCalculator:
         """(delay, output slew) of one traversal, in seconds."""
         lookup_id = BLIND if self.vector_blind else vector_id
         self.arc_evaluations += 1
-        arc = self.charlib.arc(
-            gate.cell.name, pin, lookup_id, input_rising, output_rising
-        )
+        cache = self._arc_cache
+        if cache is None:
+            arc = self.charlib.arc(
+                gate.cell.name, pin, lookup_id, input_rising, output_rising
+            )
+        else:
+            key = (gate.cell.name, pin, lookup_id, input_rising, output_rising)
+            arc = cache.get(key)
+            if arc is None:
+                self.arc_cache_misses += 1
+                arc = self.charlib.arc(
+                    gate.cell.name, pin, lookup_id, input_rising, output_rising
+                )
+                cache[key] = arc
+            else:
+                self.arc_cache_hits += 1
         fo = self.fo[gate.index]
         delay = arc.delay(fo, t_in, self.temp, self.vdd)
         slew = arc.slew(fo, t_in, self.temp, self.vdd)
         return delay, slew
 
-    def worst_gate_delay(self, gate: EngineGate) -> float:
-        """Upper bound on any traversal delay of this gate (used for
-        search pruning and for the baseline's structural enumeration)."""
-        cached = self._worst_delay_cache.get(gate.index)
+    # ------------------------------------------------------------------
+    def gate_arcs(self, gate: EngineGate) -> Tuple[TimingArc, ...]:
+        """Every resolvable timing arc of one gate (pin x vector x edge),
+        deduplicated, cached per gate index.
+
+        Missing arcs are reported through a structured log record once
+        per cell -- vector-blind lookups miss arcs *by construction*
+        (the blind library stores one output polarity per pin/edge), so
+        those log at debug, anything else at warning.  A gate whose
+        arcs are ALL missing would silently poison the pruning bound
+        and the baseline's structural enumeration with a 0.0 worst
+        delay, so it raises :class:`MissingArcsError` instead.
+        """
+        cached = self._gate_arcs_cache.get(gate.index)
         if cached is not None:
             return cached
-        worst = 0.0
-        t_in = 4 * self.input_slew  # pessimistic slew
+        arcs: List[TimingArc] = []
+        seen: Set[str] = set()
+        missing: List[str] = []
         for pin, options in gate.options.items():
             for opt in options:
                 vector_id = BLIND if self.vector_blind else opt.vector.vector_id
@@ -103,18 +176,115 @@ class DelayCalculator:
                             input_rising ^ opt.inverting,
                         )
                     except KeyError:
+                        missing.append(
+                            f"{pin}|{vector_id}|{'r' if input_rising else 'f'}"
+                        )
                         continue
-                    worst = max(
-                        worst,
-                        arc.delay(self.fo[gate.index], t_in, self.temp, self.vdd),
-                    )
+                    if arc.key not in seen:
+                        seen.add(arc.key)
+                        arcs.append(arc)
+        if missing and not arcs:
+            _log.error(
+                "gate.no_arcs", gate=gate.inst.name, cell=gate.cell.name,
+                missing=len(missing), examples=missing[:4],
+            )
+            raise MissingArcsError(
+                f"no timing arc of gate {gate.inst.name!r} "
+                f"(cell {gate.cell.name!r}) resolves in library "
+                f"{self.charlib.library_name!r}; missing {len(missing)} arcs "
+                f"such as {missing[:4]}"
+            )
+        if missing and gate.cell.name not in self._warned_cells:
+            self._warned_cells.add(gate.cell.name)
+            report = _log.debug if self.vector_blind else _log.warning
+            report(
+                "gate.arcs_missing", cell=gate.cell.name, gate=gate.inst.name,
+                missing=len(missing), resolved=len(arcs),
+                examples=missing[:4], vector_blind=self.vector_blind,
+            )
+        result = tuple(arcs)
+        self._gate_arcs_cache[gate.index] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def bound_slews(self) -> Tuple[float, ...]:
+        """Sample points covering every input slew a traversal can see.
+
+        Starts from the characterization grid's slew range (falling
+        back to a span around the primary-input slew when the library
+        carries no grid metadata) and raises the ceiling by fixed-point
+        iteration over the library's own output-slew models until no
+        gate of this circuit can emit a slower edge than the ceiling.
+        Propagated slews on degraded chains are then inside the sampled
+        domain, which is what makes :meth:`worst_gate_delay` an
+        admissible bound.
+        """
+        if self._bound_slews is not None:
+            return self._bound_slews
+        grid = (self.charlib.metadata or {}).get("grid", {})
+        grid_slews = tuple(float(t) for t in grid.get("t_in", ()))
+        ceiling = max((*grid_slews, self.input_slew, 4 * self.input_slew))
+        for _ in range(_SLEW_CEILING_ROUNDS):
+            samples = self._slew_samples(grid_slews, ceiling)
+            worst = 0.0
+            for gate in self.ec.gates:
+                fo = self.fo[gate.index]
+                for arc in self.gate_arcs(gate):
+                    peak = _model_max(arc.slew_model, fo, samples, self.temp,
+                                      self.vdd)
+                    if peak > worst:
+                        worst = peak
+            if worst <= ceiling:
+                break
+            # Overshoot so the ceiling brackets the fixed point in a
+            # couple of rounds instead of creeping up on it.
+            ceiling = 1.05 * worst
+        else:
+            _log.warning("bound.slew_ceiling_unconverged",
+                         circuit=self.ec.circuit.name, ceiling=ceiling)
+        self._bound_slews = self._slew_samples(grid_slews, ceiling)
+        return self._bound_slews
+
+    @staticmethod
+    def _slew_samples(grid_slews: Tuple[float, ...],
+                      ceiling: float) -> Tuple[float, ...]:
+        points = {0.0, ceiling}
+        points.update(t for t in grid_slews if t < ceiling)
+        step = ceiling / (BOUND_SLEW_SAMPLES - 1)
+        points.update(k * step for k in range(1, BOUND_SLEW_SAMPLES - 1))
+        return tuple(sorted(points))
+
+    def worst_gate_delay(self, gate: EngineGate) -> float:
+        """Upper bound on any traversal delay of this gate (used for
+        search pruning and for the baseline's structural enumeration).
+
+        Admissible: the fitted delay of every resolvable arc is
+        maximized over the whole achievable slew domain
+        (:meth:`bound_slews`), not at one fixed pessimistic slew --
+        propagated slews on long chains exceed any fixed choice, which
+        previously let the N-worst pruning discard true top-N paths.
+        """
+        cached = self._worst_delay_cache.get(gate.index)
+        if cached is not None:
+            return cached
+        worst = 0.0
+        fo = self.fo[gate.index]
+        slews = self.bound_slews()
+        for arc in self.gate_arcs(gate):
+            peak = _model_max(arc.delay_model, fo, slews, self.temp, self.vdd)
+            if peak > worst:
+                worst = peak
         self._worst_delay_cache[gate.index] = worst
         return worst
 
     def remaining_bounds(self) -> List[float]:
         """Per-net upper bound on the worst delay from that net to any
         primary output (reverse-topological longest path with
-        worst-case gate delays).  Admissible for N-worst pruning."""
+        worst-case gate delays).  Admissible for N-worst pruning;
+        memoized, since the circuit and corner are fixed per instance.
+        """
+        if self._remaining_bounds is not None:
+            return self._remaining_bounds
         with span("delaycalc.remaining_bounds"):
             bounds = [0.0] * self.ec.num_nets
             for gate in reversed(self.ec.gates):
@@ -123,4 +293,5 @@ class DelayCalculator:
                 for net in gate.input_nets:
                     if downstream > bounds[net]:
                         bounds[net] = downstream
+            self._remaining_bounds = bounds
             return bounds

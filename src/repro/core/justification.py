@@ -67,16 +67,24 @@ class Justifier:
         Only meaningful in a single-polarity state; ``origin`` names the
         one primary input allowed to carry a transition (the paper's
         single-input-transition model).
+    scan_from:
+        Obligation index the initial scan starts at.  Justification is
+        monotone along a trail extension (implied values only gain
+        information), so a caller that has already verified a prefix of
+        the obligation list -- the path search verifies everything up
+        to the last saved state -- may resume the scan there instead of
+        rescanning from 0 on every step.
     """
 
     def __init__(self, state: EngineState, backtrack_limit: Optional[int] = None,
                  easiest_first: bool = True, dynamic: bool = False,
-                 origin: Optional[int] = None):
+                 origin: Optional[int] = None, scan_from: int = 0):
         self.state = state
         self.backtrack_limit = backtrack_limit
         self.easiest_first = easiest_first
         self.dynamic = dynamic
         self.origin = origin
+        self.scan_from = scan_from
         #: Backtracks consumed across the Justifier's lifetime (the
         #: baseline shares one budget across a whole path check).
         self.backtracks = 0
@@ -166,7 +174,7 @@ class Justifier:
             return _Frame(net, required, iter(self._cubes(net, required)),
                           state.checkpoint(), index)
 
-        frame = open_frame(0)
+        frame = open_frame(self.scan_from)
         if frame is None:
             return JustifyResult.SAT
         stack.append(frame)

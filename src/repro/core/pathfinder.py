@@ -19,6 +19,12 @@ and resumes from the last saved state -- exactly the paper's control
 flow.  Paths with the same course but different vectors are kept
 distinct.  On reaching an output the path is recorded and the search
 returns to the last saved state.
+
+Hot-path shortcut: an extension whose vector adds no *new* unjustified
+requirement beyond the already-justified prefix needs no justification
+re-solve -- forward implication alone proves it -- which the search
+detects by resuming the obligation scan at the prefix's verified index
+(``pathfinder.justify_skipped`` counts these pure-forward extensions).
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ class SearchStats:
     justification_backtracks: int = 0
     justification_cubes: int = 0
     justification_aborts: int = 0
+    justify_skipped: int = 0
     states_saved: int = 0
     pruned: int = 0
     cpu_seconds: float = 0.0
@@ -69,6 +76,14 @@ class SearchStats:
 
     def as_dict(self) -> Dict[str, float]:
         return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+
+    def merge(self, other: Dict[str, float]) -> None:
+        """Fold another run's counter dict (:meth:`as_dict`) into this
+        one -- how the parallel driver combines per-shard stats."""
+        for name, value in other.items():
+            if name.startswith("_"):
+                continue
+            setattr(self, name, getattr(self, name, 0) + value)
 
     def publish(self, circuit: Optional[str] = None) -> None:
         registry = obs_metrics.REGISTRY
@@ -105,6 +120,69 @@ class _Frame:
     mark: int
     options: Iterator
     arc: Optional[_Arc]
+    #: Obligation count verified justified when the frame opened; an
+    #: extension's obligation scan resumes here (justification is
+    #: monotone along a trail extension, and rollback to ``mark``
+    #: restores exactly the verified prefix).
+    justified: int = 0
+
+
+class PathStream:
+    """Iterator over one search run with deterministic stats publication.
+
+    Wraps the finder's generator so that abandoning the iteration early
+    (e.g. stopping after N paths) still publishes :class:`SearchStats`
+    and the ``delaycalc.*`` counter deltas the moment :meth:`close` runs
+    -- instead of whenever the garbage collector finalizes the
+    generator, which leaves metric snapshots taken in between silently
+    incomplete.  Exhausting the iterator publishes as well; ``close``
+    is idempotent.  Usable as a context manager::
+
+        with finder.find_paths() as stream:
+            for path in stream:
+                ...
+    """
+
+    def __init__(self, finder: "PathFinder", inputs: Optional[Sequence[str]]):
+        self._finder = finder
+        self._gen = finder._iter_paths(inputs)
+        self._started = time.perf_counter()
+        calc = finder.calc
+        self._counters_before = (
+            calc.arc_evaluations, calc.arc_cache_hits, calc.arc_cache_misses
+        )
+        self._published = False
+
+    def __iter__(self) -> "PathStream":
+        return self
+
+    def __next__(self) -> TimedPath:
+        try:
+            return next(self._gen)
+        except StopIteration:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Stop the search (if still running) and publish its stats."""
+        if self._published:
+            return
+        self._published = True
+        self._gen.close()
+        elapsed = time.perf_counter() - self._started
+        self._finder._publish_run(elapsed, self._counters_before)
+
+    def __enter__(self) -> "PathStream":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class PathFinder:
@@ -138,6 +216,11 @@ class PathFinder:
         set per polarity at every step, which is provably complete --
         validated against brute force in the tests -- at roughly the
         cost of one extra justification pass per extension.
+    justify_skip:
+        Enable the pure-forward-implication fast path that elides the
+        per-step justification re-solve when an extension adds no new
+        unjustified requirement (on by default; the toggle exists for
+        A/B effort measurements in the benchmarks).
     """
 
     def __init__(
@@ -149,6 +232,7 @@ class PathFinder:
         n_worst: Optional[int] = None,
         single_polarity: Optional[int] = None,
         complete: bool = False,
+        justify_skip: bool = True,
     ):
         self.ec = ec
         self.calc = calc
@@ -157,44 +241,74 @@ class PathFinder:
         self.n_worst = n_worst
         self.single_polarity = single_polarity
         self.complete = complete
+        self.justify_skip = justify_skip
         self._origin: int = -1
         self.stats = SearchStats()
         self._bounds: Optional[List[float]] = None
         self._best: List[float] = []  # min-heap of the N best arrivals
+        self._stream: Optional[PathStream] = None
         if n_worst is not None:
             self._bounds = calc.remaining_bounds()
 
     # ------------------------------------------------------------------
     def find_paths(
         self, inputs: Optional[Sequence[str]] = None
-    ) -> Iterator[TimedPath]:
-        """Yield every true path (x vector combination) of the circuit.
+    ) -> PathStream:
+        """Stream every true path (x vector combination) of the circuit.
 
         ``inputs`` restricts the origins (default: all primary inputs,
-        in declaration order).
+        in declaration order).  The returned :class:`PathStream` is a
+        plain iterator that additionally supports ``close()`` and the
+        context-manager protocol for deterministic stats publication.
         """
-        started = time.perf_counter()
-        arc_evals_before = self.calc.arc_evaluations
-        try:
-            origin_ids = (
-                self.ec.input_ids
-                if inputs is None
-                else [self.ec.net_id[name] for name in inputs]
-            )
-            for origin in origin_ids:
-                yield from self._search_from(origin)
-                if self._done():
-                    return
-        finally:
-            self.stats.cpu_seconds += time.perf_counter() - started
-            name = self.ec.circuit.name
-            self.stats.publish(name)
-            delta = self.calc.arc_evaluations - arc_evals_before
+        stream = PathStream(self, inputs)
+        self._stream = stream
+        return stream
+
+    def close(self) -> None:
+        """Close (and publish) the most recent :meth:`find_paths` run."""
+        if self._stream is not None:
+            self._stream.close()
+
+    def __enter__(self) -> "PathFinder":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _publish_run(
+        self, elapsed: float, counters_before: Tuple[int, int, int]
+    ) -> None:
+        self.stats.cpu_seconds += elapsed
+        name = self.ec.circuit.name
+        self.stats.publish(name)
+        calc = self.calc
+        registry = obs_metrics.REGISTRY
+        deltas = (
+            ("delaycalc.arc_evaluations",
+             calc.arc_evaluations - counters_before[0]),
+            ("delaycalc.arc_cache_hits",
+             calc.arc_cache_hits - counters_before[1]),
+            ("delaycalc.arc_cache_misses",
+             calc.arc_cache_misses - counters_before[2]),
+        )
+        for key, delta in deltas:
             # Register even a zero delta so the snapshot schema is stable.
-            obs_metrics.REGISTRY.counter("delaycalc.arc_evaluations").inc(delta)
-            obs_metrics.REGISTRY.counter(
-                "delaycalc.arc_evaluations", circuit=name
-            ).inc(delta)
+            registry.counter(key).inc(delta)
+            registry.counter(key, circuit=name).inc(delta)
+
+    def _iter_paths(
+        self, inputs: Optional[Sequence[str]]
+    ) -> Iterator[TimedPath]:
+        origin_ids = (
+            self.ec.input_ids
+            if inputs is None
+            else [self.ec.net_id[name] for name in inputs]
+        )
+        for origin in origin_ids:
+            yield from self._search_from(origin)
+            if self._done():
+                return
 
     def _done(self) -> bool:
         return self.max_paths is not None and self.stats.paths_found >= self.max_paths
@@ -231,6 +345,7 @@ class PathFinder:
                     step=None,  # type: ignore[arg-type]
                     timing=root_timing,
                 ),
+                justified=len(state.obligations),
             )
         ]
         self.stats.states_saved += 1
@@ -262,6 +377,7 @@ class PathFinder:
                 mark=state.checkpoint(),
                 options=iter(self._options_for(out_net)),
                 arc=arc,
+                justified=len(state.obligations),
             )
             stack.append(child)
             self.stats.states_saved += 1
@@ -300,32 +416,63 @@ class PathFinder:
         requirements = frame.arc.requirements + option.side_assignments
         input_vectors: Dict[int, Dict] = {}
         if self.complete:
-            # Global re-solve per polarity: complete, immune to stale
-            # justification commitments from earlier steps.
-            sensitizable = set()
-            with span("pathfinder.justify"):
+            if (
+                self.justify_skip
+                and not option.side_assignments
+                and frame.arc.input_vectors
+            ):
+                # The accumulated requirement set is unchanged, so the
+                # parent's per-polarity global re-solve (a deterministic
+                # function of origin + requirements alone) still holds;
+                # reuse its verdicts and witness vectors.
+                self.stats.justify_skipped += 1
+                sensitizable = set()
                 for comp in frame.arc.timing:
-                    if not state.alive[comp]:
-                        continue
-                    vector = self._check_polarity(comp, requirements)
-                    if vector is not None:
+                    if state.alive[comp] and comp in frame.arc.input_vectors:
                         sensitizable.add(comp)
-                        input_vectors[comp] = vector
+                        input_vectors[comp] = frame.arc.input_vectors[comp]
+            else:
+                # Global re-solve per polarity: complete, immune to stale
+                # justification commitments from earlier steps.
+                sensitizable = set()
+                with span("pathfinder.justify"):
+                    for comp in frame.arc.timing:
+                        if not state.alive[comp]:
+                            continue
+                        vector = self._check_polarity(comp, requirements)
+                        if vector is not None:
+                            sensitizable.add(comp)
+                            input_vectors[comp] = vector
             if not sensitizable:
                 return None
         else:
             with span("pathfinder.justify"):
-                justifier = Justifier(
-                    state, backtrack_limit=self.justify_backtrack_limit
+                # Disabled skip == the original control flow: always run
+                # the justifier, scanning every obligation from scratch.
+                pending = (
+                    state.first_unjustified(frame.justified)
+                    if self.justify_skip
+                    else (0,)
                 )
-                result = justifier.justify()
-            self.stats.justification_backtracks += justifier.backtracks
-            self.stats.justification_cubes += justifier.cubes_tried
-            if result is JustifyResult.ABORTED:
-                self.stats.justification_aborts += 1
-                return None
-            if result is not JustifyResult.SAT:
-                return None
+                if pending is None:
+                    # Pure-forward extension: every requirement (old and
+                    # new) is already implied, so the re-solve would be
+                    # a no-op.
+                    self.stats.justify_skipped += 1
+                else:
+                    justifier = Justifier(
+                        state,
+                        backtrack_limit=self.justify_backtrack_limit,
+                        scan_from=pending[0],
+                    )
+                    result = justifier.justify()
+                    self.stats.justification_backtracks += justifier.backtracks
+                    self.stats.justification_cubes += justifier.cubes_tried
+                    if result is JustifyResult.ABORTED:
+                        self.stats.justification_aborts += 1
+                        return None
+                    if result is not JustifyResult.SAT:
+                        return None
             sensitizable = {
                 comp for comp in frame.arc.timing if state.alive[comp]
             }

@@ -18,7 +18,7 @@ from repro.charlib.store import CharacterizedLibrary
 from repro.core.delaycalc import DEFAULT_INPUT_SLEW, DelayCalculator
 from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
-from repro.core.pathfinder import PathFinder, SearchStats
+from repro.core.pathfinder import PathFinder, PathStream, SearchStats
 from repro.netlist.circuit import Circuit
 from repro.obs.tracing import span
 
@@ -65,8 +65,15 @@ class TruePathSTA:
         justify_backtrack_limit: Optional[int] = None,
         single_polarity: Optional[int] = None,
         complete: bool = False,
-    ) -> Iterator[TimedPath]:
-        """Stream true paths as the single-pass search finds them."""
+    ) -> PathStream:
+        """Stream true paths as the single-pass search finds them.
+
+        The returned :class:`PathStream` is a plain iterator that also
+        supports ``close()`` and the context-manager protocol: closing
+        it (or exhausting it) publishes the run's :class:`SearchStats`
+        and ``delaycalc.*`` counters immediately, so metric snapshots
+        taken after an early stop are complete.
+        """
         finder = PathFinder(
             self.ec,
             self.calc,
@@ -79,10 +86,30 @@ class TruePathSTA:
         self.last_stats = finder.stats
         return finder.find_paths(inputs=inputs)
 
-    def enumerate_paths(self, **kwargs) -> List[TimedPath]:
-        """All true paths x sensitization-vector combinations."""
+    def enumerate_paths(self, jobs: Optional[int] = None, **kwargs) -> List[TimedPath]:
+        """All true paths x sensitization-vector combinations.
+
+        ``jobs`` > 1 shards the search across primary inputs in a
+        process pool (:func:`repro.perf.parallel_find_paths`) and
+        merges the per-origin streams in declaration order.
+        """
+        if jobs is not None and jobs > 1:
+            from repro.perf import parallel_find_paths
+
+            paths, stats = parallel_find_paths(
+                self.circuit,
+                self.charlib,
+                jobs=jobs,
+                temp=self.calc.temp,
+                vdd=self.calc.vdd,
+                input_slew=self.calc.input_slew,
+                **kwargs,
+            )
+            self.last_stats = stats
+            return paths
         with span("pathfinder.search"):
-            return list(self.iter_paths(**kwargs))
+            with self.iter_paths(**kwargs) as stream:
+                return list(stream)
 
     def n_worst_paths(self, n: int, prune: bool = True, **kwargs) -> List[TimedPath]:
         """The N slowest true paths, worst first.

@@ -76,6 +76,9 @@ def main(argv=None) -> int:
                         help="electrically simulated paths per circuit")
     parser.add_argument("--max-dev-paths", type=int, default=20000)
     parser.add_argument("--backtrack-limit", type=int, default=1000)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard developed-tool searches across primary "
+                             "inputs in N worker processes")
     parser.add_argument("--log-level", default=None,
                         choices=["debug", "info", "warning", "error"],
                         help="enable structured logging at this level")
@@ -150,7 +153,7 @@ def main(argv=None) -> int:
             circuit = build_circuit(name, scale=args.scale)
             gba = GraphSTA(circuit, poly).run()
             paths = TruePathSTA(circuit, poly).enumerate_paths(
-                max_paths=args.max_dev_paths
+                max_paths=args.max_dev_paths, jobs=args.jobs
             )
             comparison = gba_pessimism(gba, paths)
             for endpoint, row in sorted(comparison.items()):

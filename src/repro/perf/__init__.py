@@ -1,0 +1,16 @@
+"""Hot-path performance layer for the single-pass search.
+
+Currently one public entry point: :func:`parallel_find_paths`, a
+process-pool driver that shards the search across primary inputs (each
+origin's search is independent -- the paper's natural partition) and
+merges the resulting :class:`~repro.core.path.TimedPath` streams and
+:class:`~repro.core.pathfinder.SearchStats` back into the calling
+process, including its metrics registry.  The serial hot-path pieces
+(arc-resolution memoization, justify-skip) live directly in
+:mod:`repro.core.delaycalc` and :mod:`repro.core.pathfinder`; see
+``docs/PERFORMANCE.md`` for how to measure them.
+"""
+
+from repro.perf.parallel import parallel_find_paths
+
+__all__ = ["parallel_find_paths"]

@@ -1,0 +1,159 @@
+"""Process-pool parallel driver for the path search.
+
+The single-pass search visits one primary input at a time and never
+shares state between origins, so the natural partition is one shard per
+origin.  Each worker process builds the indexed circuit and delay
+calculator once (pool initializer), then serves origin shards; the
+parent concatenates the per-origin path lists *in origin declaration
+order* -- which makes the merged stream identical to the serial one --
+and folds the per-shard :class:`SearchStats` and ``delaycalc.*``
+counter deltas into its own metrics registry (worker registries are
+per-process and die with the pool; only the merged totals surface).
+
+Merge semantics under the search limits:
+
+* ``max_paths``: each shard is capped at ``max_paths`` (a single origin
+  can never contribute more), and the merged stream is truncated after
+  concatenation -- byte-identical to the serial early stop.
+* ``n_worst``: each shard prunes against its *own* top-N heap, which is
+  at most as aggressive as the serial global heap, so the merged stream
+  is a superset of the serial one that provably contains the true top-N
+  set; callers keep the N worst of the merge exactly as they would keep
+  the N worst of a serial run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.charlib.fanout import WireLoadModel
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.delaycalc import DEFAULT_INPUT_SLEW, DelayCalculator
+from repro.core.engine import EngineCircuit
+from repro.core.path import TimedPath
+from repro.core.pathfinder import PathFinder, SearchStats
+from repro.netlist.circuit import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+_log = get_logger("repro.perf")
+
+#: Per-process search context: (indexed circuit, calculator, finder kwargs).
+_WORKER: Optional[Tuple[EngineCircuit, DelayCalculator, Dict]] = None
+
+#: One shard's results: paths, SearchStats.as_dict(), delaycalc deltas.
+_ShardResult = Tuple[List[TimedPath], Dict[str, float], Dict[str, int]]
+
+
+def _init_worker(circuit: Circuit, charlib: CharacterizedLibrary,
+                 calc_kwargs: Dict, finder_kwargs: Dict) -> None:
+    global _WORKER
+    ec = EngineCircuit(circuit)
+    calc = DelayCalculator(ec, charlib, **calc_kwargs)
+    _WORKER = (ec, calc, finder_kwargs)
+
+
+def _run_shard(ec: EngineCircuit, calc: DelayCalculator, finder_kwargs: Dict,
+               origins: Sequence[str]) -> _ShardResult:
+    before = (calc.arc_evaluations, calc.arc_cache_hits, calc.arc_cache_misses)
+    finder = PathFinder(ec, calc, **finder_kwargs)
+    with finder.find_paths(inputs=origins) as stream:
+        paths = list(stream)
+    deltas = {
+        "delaycalc.arc_evaluations": calc.arc_evaluations - before[0],
+        "delaycalc.arc_cache_hits": calc.arc_cache_hits - before[1],
+        "delaycalc.arc_cache_misses": calc.arc_cache_misses - before[2],
+    }
+    return paths, finder.stats.as_dict(), deltas
+
+
+def _search_shard(origins: Sequence[str]) -> _ShardResult:
+    ec, calc, finder_kwargs = _WORKER
+    return _run_shard(ec, calc, finder_kwargs, origins)
+
+
+def parallel_find_paths(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    jobs: int = 2,
+    inputs: Optional[Sequence[str]] = None,
+    temp: float = 25.0,
+    vdd: Optional[float] = None,
+    input_slew: float = DEFAULT_INPUT_SLEW,
+    vector_blind: bool = False,
+    wire: Optional[WireLoadModel] = None,
+    max_paths: Optional[int] = None,
+    n_worst: Optional[int] = None,
+    justify_backtrack_limit: Optional[int] = None,
+    single_polarity: Optional[int] = None,
+    complete: bool = False,
+) -> Tuple[List[TimedPath], SearchStats]:
+    """Run the true-path search sharded across primary inputs.
+
+    Returns ``(paths, merged_stats)``; the merged stats and the
+    ``delaycalc.*`` counter totals are also published to this process's
+    metrics registry, exactly like a serial
+    :meth:`PathFinder.find_paths` run.  ``jobs=1`` runs the same
+    shard/merge pipeline in-process (no pool), which is the reference
+    for the equivalence tests.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    origins = list(inputs) if inputs is not None else list(circuit.inputs)
+    calc_kwargs = dict(temp=temp, vdd=vdd, input_slew=input_slew,
+                       vector_blind=vector_blind, wire=wire)
+    finder_kwargs = dict(
+        max_paths=max_paths,
+        n_worst=n_worst,
+        justify_backtrack_limit=justify_backtrack_limit,
+        single_polarity=single_polarity,
+        complete=complete,
+    )
+    jobs = min(jobs, max(len(origins), 1))
+    with span("perf.parallel_find_paths"):
+        if jobs == 1:
+            ec = EngineCircuit(circuit)
+            calc = DelayCalculator(ec, charlib, **calc_kwargs)
+            shards = [
+                _run_shard(ec, calc, finder_kwargs, [name])
+                for name in origins
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(circuit, charlib, calc_kwargs, finder_kwargs),
+            ) as pool:
+                futures = [
+                    pool.submit(_search_shard, [name]) for name in origins
+                ]
+                shards = [future.result() for future in futures]
+
+    paths: List[TimedPath] = []
+    merged = SearchStats()
+    totals: Dict[str, int] = {}
+    for shard_paths, stats_dict, deltas in shards:
+        if max_paths is None or len(paths) < max_paths:
+            paths.extend(shard_paths)
+        merged.merge(stats_dict)
+        for key, value in deltas.items():
+            totals[key] = totals.get(key, 0) + value
+    if max_paths is not None:
+        del paths[max_paths:]
+
+    name = circuit.name
+    merged.publish(name)
+    registry = obs_metrics.REGISTRY
+    for key in ("delaycalc.arc_evaluations", "delaycalc.arc_cache_hits",
+                "delaycalc.arc_cache_misses"):
+        value = totals.get(key, 0)
+        registry.counter(key).inc(value)
+        registry.counter(key, circuit=name).inc(value)
+    registry.counter("perf.parallel_runs").inc()
+    registry.counter("perf.parallel_shards").inc(len(origins))
+    registry.gauge("perf.parallel_jobs").set(jobs)
+    _log.debug("parallel.done", circuit=name, jobs=jobs,
+               shards=len(origins), paths=len(paths))
+    return paths, merged
