@@ -42,11 +42,20 @@ class StructuralPath:
 
 
 class StructuralEnumerator:
-    """Enumerates structural paths longest-first."""
+    """Enumerates structural paths longest-first over the timing graph.
+
+    Candidates walk the shared :class:`~repro.core.tgraph.TimingGraph`
+    arcs; the ordering metric deliberately stays the commercial tool's
+    context-free one (per-gate worst delay with the matching exact
+    suffix bound as the A* heuristic) -- that *is* the baseline being
+    reproduced, and the heuristic must be exact for the metric so paths
+    pop in non-increasing structural-delay order.
+    """
 
     def __init__(self, ec: EngineCircuit, calc: DelayCalculator):
         self.ec = ec
         self.calc = calc
+        self._tg = ec.tgraph
         self._bounds = calc.remaining_bounds()
 
     def iter_paths(self, limit: Optional[int] = None) -> Iterator[StructuralPath]:
@@ -71,10 +80,10 @@ class StructuralEnumerator:
                 emitted += 1
                 if limit is not None and emitted >= limit:
                     return
-            for gate_index, pin in self.ec.sinks[net]:
-                gate = self.ec.gates[gate_index]
+            for arc in self._tg.fanout[net]:
+                gate = self.ec.gates[arc.gate_index]
                 new_delay = delay + self.calc.worst_gate_delay(gate)
-                out = gate.output_net
+                out = arc.dst_net
                 estimate = new_delay + self._bounds[out]
                 heapq.heappush(
                     heap,
@@ -82,7 +91,7 @@ class StructuralEnumerator:
                         -estimate,
                         next(counter),
                         out,
-                        hops + ((gate_index, pin),),
+                        hops + ((arc.gate_index, arc.pin),),
                         new_delay,
                         origin,
                     ),

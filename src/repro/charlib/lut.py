@@ -67,6 +67,31 @@ class LutModel:
         )
         return float(base * derate)
 
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``(n, 4)`` rows of
+        ``(fo, t_in, temp, vdd)`` -- same variable order as
+        :meth:`PolynomialModel.evaluate_many <repro.charlib.polynomial.PolynomialModel.evaluate_many>`."""
+        points = np.asarray(points, dtype=float)
+        fo, t_in, temp, vdd = points.T
+        i = np.clip(np.searchsorted(self.t_in_axis, t_in) - 1, 0,
+                    len(self.t_in_axis) - 2)
+        j = np.clip(np.searchsorted(self.fo_axis, fo) - 1, 0,
+                    len(self.fo_axis) - 2)
+        ti0, ti1 = self.t_in_axis[i], self.t_in_axis[i + 1]
+        fj0, fj1 = self.fo_axis[j], self.fo_axis[j + 1]
+        wi = np.clip((t_in - ti0) / (ti1 - ti0), 0.0, 1.0)
+        wj = np.clip((fo - fj0) / (fj1 - fj0), 0.0, 1.0)
+        t = self.table
+        base = (
+            t[i, j] * (1 - wi) * (1 - wj)
+            + t[i + 1, j] * wi * (1 - wj)
+            + t[i, j + 1] * (1 - wi) * wj
+            + t[i + 1, j + 1] * wi * wj
+        )
+        derate = (1.0 + self.k_temp * (temp - self.ref_temp)
+                  + self.k_vdd * (vdd - self.ref_vdd))
+        return base * derate
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         return {

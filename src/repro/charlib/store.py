@@ -16,21 +16,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.charlib.lut import LutModel
-from repro.charlib.polynomial import PolynomialModel
+from repro.charlib.model import DelayModel, model_from_dict
 
-Model = Union[PolynomialModel, LutModel]
+#: Every stored model satisfies the :class:`DelayModel` protocol; the
+#: alias survives for callers that imported the old union type.
+Model = DelayModel
 
 #: Vector id of vector-blind (baseline) arcs.
 BLIND = "*"
-
-
-def _model_from_dict(data: Dict) -> Model:
-    if data["kind"] == "polynomial":
-        return PolynomialModel.from_dict(data)
-    if data["kind"] == "lut":
-        return LutModel.from_dict(data)
-    raise ValueError(f"unknown model kind {data['kind']!r}")
 
 
 @dataclass
@@ -75,8 +68,8 @@ class TimingArc:
             vector_id=data["vector_id"],
             input_rising=data["input_rising"],
             output_rising=data["output_rising"],
-            delay_model=_model_from_dict(data["delay_model"]),
-            slew_model=_model_from_dict(data["slew_model"]),
+            delay_model=model_from_dict(data["delay_model"]),
+            slew_model=model_from_dict(data["slew_model"]),
         )
 
 

@@ -4,12 +4,14 @@ Analyze a netlist file with either tool::
 
     python -m repro.cli analyze circuit.bench --tech 90nm --top 10
     python -m repro.cli analyze design.v --tool baseline --required 500
-    python -m repro.cli analyze circuit.bench --profile --metrics-json m.json
+    python -m repro.cli analyze iscas:c432 --tool gba --compare
+    python -m repro.cli analyze iscas:c880a --n-worst 10 --metrics-json m.json
     python -m repro.cli stats circuit.bench
 
 ``.bench`` files are parsed as ISCAS benchmarks (and technology-mapped
 onto the complex-gate library unless ``--no-map``); ``.v`` files as
-structural Verilog using library cell names directly.
+structural Verilog using library cell names directly; ``iscas:<name>``
+builds a circuit from the bundled evaluation suite.
 """
 
 from __future__ import annotations
@@ -45,7 +47,15 @@ _CHARLIB_MEMO: Dict[_CharlibKey, CharacterizedLibrary] = {}
 
 
 def load_circuit(path: str, map_to_complex: bool = True) -> Circuit:
-    """Load a ``.bench`` or ``.v`` netlist."""
+    """Load a ``.bench`` or ``.v`` netlist, or build an evaluation-suite
+    circuit from an ``iscas:<name>[@scale]`` spec (e.g. ``iscas:c432``,
+    ``iscas:c6288@0.25``)."""
+    if path.startswith("iscas:"):
+        from repro.eval.iscas import build_circuit
+
+        spec = path[len("iscas:"):]
+        name, _, scale = spec.partition("@")
+        return build_circuit(name, scale=float(scale) if scale else 1.0)
     file_path = Path(path)
     text = file_path.read_text()
     if file_path.suffix == ".v":
@@ -121,8 +131,42 @@ def _analyze(args) -> int:
         from repro.core.sta import TruePathSTA
 
         sta = TruePathSTA(circuit, charlib)
-        paths = sta.enumerate_paths(max_paths=args.max_paths, jobs=args.jobs)
+        if args.n_worst is not None:
+            paths = sta.n_worst_paths(
+                args.n_worst, max_paths=args.max_paths, jobs=args.jobs
+            )
+        else:
+            paths = sta.enumerate_paths(
+                max_paths=args.max_paths, jobs=args.jobs
+            )
         print(sta.report(paths, limit=args.top))
+    elif args.tool == "gba":
+        charlib = cached_charlib(library, tech)
+        from repro.core.graphsta import GraphSTA, gba_pessimism
+        from repro.core.sta import TruePathSTA
+
+        gba = GraphSTA(circuit, charlib).run()
+        print(f"GBA endpoint arrivals for {circuit.name} "
+              f"({charlib.tech_name}, one topological pass)")
+        for endpoint in circuit.outputs:
+            rise, fall = gba.arrivals.get(endpoint, (None, None))
+            cells = " ".join(
+                f"{pol}={arr * 1e12:8.1f} ps" if arr is not None else f"{pol}=    n/a"
+                for pol, arr in (("rise", rise), ("fall", fall))
+            )
+            print(f"  {endpoint:<12s} {cells}")
+        paths = []
+        if args.compare:
+            sta = TruePathSTA(circuit, charlib)
+            paths = sta.enumerate_paths(max_paths=args.max_paths,
+                                        jobs=args.jobs)
+            comparison = gba_pessimism(gba, paths)
+            print(f"\ngba_pessimism vs {len(paths)} true paths "
+                  "(GBA/true - 1; >= 0 up to model noise):")
+            for endpoint, row in sorted(comparison.items()):
+                print(f"  {endpoint:<12s} gba={row['gba'] * 1e12:8.1f} ps  "
+                      f"true={row['true'] * 1e12:8.1f} ps  "
+                      f"pessimism={row['pessimism'] * 100:+6.2f}%")
     else:
         charlib = cached_charlib(library, tech, model="lut",
                                  vector_mode="default")
@@ -163,8 +207,16 @@ def main(argv: Optional[list] = None) -> int:
     analyze.add_argument("netlist")
     analyze.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
     analyze.add_argument("--tool", default="developed",
-                         choices=["developed", "baseline"])
+                         choices=["developed", "baseline", "gba"])
     analyze.add_argument("--top", type=int, default=10)
+    analyze.add_argument("--n-worst", type=int, default=None, metavar="N",
+                         help="developed tool only: report the N worst "
+                              "true paths using the backward required-time "
+                              "bound to prune the search")
+    analyze.add_argument("--compare", action="store_true",
+                         help="with --tool gba: also run the true-path "
+                              "search and print the per-endpoint "
+                              "gba_pessimism delta")
     analyze.add_argument("--max-paths", type=int, default=20000)
     analyze.add_argument("--backtrack-limit", type=int, default=1000)
     analyze.add_argument("--required", type=float, default=None,

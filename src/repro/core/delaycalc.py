@@ -23,8 +23,10 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.charlib.fanout import WireLoadModel, output_load
+from repro.charlib.model import DelayModel
 from repro.charlib.store import BLIND, CharacterizedLibrary, TimingArc
 from repro.core.engine import EngineCircuit, EngineGate
+from repro.core.tgraph import PruneBounds
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
 
@@ -47,14 +49,15 @@ class MissingArcsError(LookupError):
     """No timing arc of a gate resolves in the characterized library."""
 
 
-def _model_max(model, fo: float, slews: Tuple[float, ...], temp: float,
-               vdd: float) -> float:
-    """Maximum of a fitted model over a sweep of input slews."""
-    many = getattr(model, "evaluate_many", None)
-    if many is not None:
-        points = np.array([[fo, t_in, temp, vdd] for t_in in slews])
-        return float(np.max(many(points)))
-    return max(model.evaluate(fo, t_in, temp, vdd) for t_in in slews)
+def _model_max(model: DelayModel, fo: float, slews: Tuple[float, ...],
+               temp: float, vdd: float) -> float:
+    """Maximum of a fitted model over a sweep of input slews.
+
+    Goes through the :class:`~repro.charlib.model.DelayModel` batch
+    protocol, so polynomial and LUT libraries share one sweep path.
+    """
+    points = np.array([[fo, t_in, temp, vdd] for t_in in slews])
+    return float(np.max(model.evaluate_many(points)))
 
 
 class DelayCalculator:
@@ -97,9 +100,16 @@ class DelayCalculator:
             {} if arc_cache else None
         )
         self._gate_arcs_cache: Dict[int, Tuple[TimingArc, ...]] = {}
+        #: (gate index, pin) -> (resolved arcs, missing-arc descriptions).
+        self._pin_arcs_cache: Dict[
+            Tuple[int, str], Tuple[Tuple[TimingArc, ...], Tuple[str, ...]]
+        ] = {}
         self._worst_delay_cache: Dict[int, float] = {}
+        self._worst_arc_cache: Dict[Tuple[int, str], float] = {}
         self._bound_slews: Optional[Tuple[float, ...]] = None
         self._remaining_bounds: Optional[List[float]] = None
+        self._required_bounds: Optional[List[float]] = None
+        self._prune_bounds: Optional[PruneBounds] = None
         self._warned_cells: Set[str] = set()
 
     def _nominal_vdd(self) -> float:
@@ -148,6 +158,45 @@ class DelayCalculator:
         return delay, slew
 
     # ------------------------------------------------------------------
+    def _resolve_pin(
+        self, gate: EngineGate, pin: str
+    ) -> Tuple[Tuple[TimingArc, ...], Tuple[str, ...]]:
+        """Resolve (and memoize) every timing arc entering through one
+        pin: (resolved arcs, descriptions of the missing ones)."""
+        key = (gate.index, pin)
+        cached = self._pin_arcs_cache.get(key)
+        if cached is not None:
+            return cached
+        arcs: List[TimingArc] = []
+        seen: Set[str] = set()
+        missing: List[str] = []
+        for opt in gate.options[pin]:
+            vector_id = BLIND if self.vector_blind else opt.vector.vector_id
+            for input_rising in (True, False):
+                try:
+                    arc = self.charlib.arc(
+                        gate.cell.name, pin, vector_id, input_rising,
+                        input_rising ^ opt.inverting,
+                    )
+                except KeyError:
+                    missing.append(
+                        f"{pin}|{vector_id}|{'r' if input_rising else 'f'}"
+                    )
+                    continue
+                if arc.key not in seen:
+                    seen.add(arc.key)
+                    arcs.append(arc)
+        result = (tuple(arcs), tuple(missing))
+        self._pin_arcs_cache[key] = result
+        return result
+
+    def pin_arcs(self, gate: EngineGate, pin: str) -> Tuple[TimingArc, ...]:
+        """Every resolvable timing arc entering one gate through one pin
+        (vector x edge, deduplicated) -- the per-arc granularity the
+        timing graph's backward pass bounds."""
+        self.gate_arcs(gate)  # whole-gate validation + missing-arc logs
+        return self._resolve_pin(gate, pin)[0]
+
     def gate_arcs(self, gate: EngineGate) -> Tuple[TimingArc, ...]:
         """Every resolvable timing arc of one gate (pin x vector x edge),
         deduplicated, cached per gate index.
@@ -164,25 +213,11 @@ class DelayCalculator:
         if cached is not None:
             return cached
         arcs: List[TimingArc] = []
-        seen: Set[str] = set()
         missing: List[str] = []
-        for pin, options in gate.options.items():
-            for opt in options:
-                vector_id = BLIND if self.vector_blind else opt.vector.vector_id
-                for input_rising in (True, False):
-                    try:
-                        arc = self.charlib.arc(
-                            gate.cell.name, pin, vector_id, input_rising,
-                            input_rising ^ opt.inverting,
-                        )
-                    except KeyError:
-                        missing.append(
-                            f"{pin}|{vector_id}|{'r' if input_rising else 'f'}"
-                        )
-                        continue
-                    if arc.key not in seen:
-                        seen.add(arc.key)
-                        arcs.append(arc)
+        for pin in gate.options:
+            pin_resolved, pin_missing = self._resolve_pin(gate, pin)
+            arcs.extend(pin_resolved)
+            missing.extend(pin_missing)
         if missing and not arcs:
             _log.error(
                 "gate.no_arcs", gate=gate.inst.name, cell=gate.cell.name,
@@ -254,34 +289,61 @@ class DelayCalculator:
         points.update(k * step for k in range(1, BOUND_SLEW_SAMPLES - 1))
         return tuple(sorted(points))
 
+    def worst_arc_delay(self, gate: EngineGate, pin: str) -> float:
+        """Upper bound on any traversal delay of one (gate, pin) arc.
+
+        Admissible for the same reason as :meth:`worst_gate_delay` (the
+        fitted delay of every arc of the pin is maximized over the
+        whole achievable slew domain), but tighter: only delays the
+        traversed pin can exhibit contribute, which is what makes the
+        timing graph's backward required-time bound dominate the
+        context-free per-gate suffix sum.
+        """
+        key = (gate.index, pin)
+        cached = self._worst_arc_cache.get(key)
+        if cached is not None:
+            return cached
+        worst = 0.0
+        fo = self.fo[gate.index]
+        slews = self.bound_slews()
+        for arc in self.pin_arcs(gate, pin):
+            peak = _model_max(arc.delay_model, fo, slews, self.temp, self.vdd)
+            if peak > worst:
+                worst = peak
+        self._worst_arc_cache[key] = worst
+        return worst
+
     def worst_gate_delay(self, gate: EngineGate) -> float:
         """Upper bound on any traversal delay of this gate (used for
-        search pruning and for the baseline's structural enumeration).
+        the legacy suffix-sum bound and for the baseline's structural
+        enumeration ordering metric).
 
         Admissible: the fitted delay of every resolvable arc is
         maximized over the whole achievable slew domain
         (:meth:`bound_slews`), not at one fixed pessimistic slew --
         propagated slews on long chains exceed any fixed choice, which
         previously let the N-worst pruning discard true top-N paths.
+        Equals the maximum of :meth:`worst_arc_delay` over the gate's
+        pins (and shares its per-arc sweeps).
         """
         cached = self._worst_delay_cache.get(gate.index)
         if cached is not None:
             return cached
-        worst = 0.0
-        fo = self.fo[gate.index]
-        slews = self.bound_slews()
-        for arc in self.gate_arcs(gate):
-            peak = _model_max(arc.delay_model, fo, slews, self.temp, self.vdd)
-            if peak > worst:
-                worst = peak
+        self.gate_arcs(gate)  # raises MissingArcsError on hopeless gates
+        worst = max(
+            (self.worst_arc_delay(gate, pin) for pin in gate.options),
+            default=0.0,
+        )
         self._worst_delay_cache[gate.index] = worst
         return worst
 
     def remaining_bounds(self) -> List[float]:
         """Per-net upper bound on the worst delay from that net to any
         primary output (reverse-topological longest path with
-        worst-case gate delays).  Admissible for N-worst pruning;
-        memoized, since the circuit and corner are fixed per instance.
+        worst-case *per-gate* delays) -- the legacy context-free suffix
+        sum.  Admissible but looser than :meth:`required_bounds`; kept
+        as the baseline enumerator's ordering metric and as the
+        dominance reference for ``pathfinder.bound_prunes``.
         """
         if self._remaining_bounds is not None:
             return self._remaining_bounds
@@ -295,3 +357,26 @@ class DelayCalculator:
                         bounds[net] = downstream
             self._remaining_bounds = bounds
             return bounds
+
+    def required_bounds(self) -> List[float]:
+        """Per-net backward required-time bound from the timing graph
+        (:meth:`TimingGraph.backward_required_bounds
+        <repro.core.tgraph.TimingGraph.backward_required_bounds>`):
+        admissible, and dominated by :meth:`remaining_bounds` per net.
+        Memoized, since the circuit and corner are fixed per instance.
+        """
+        if self._required_bounds is None:
+            self._required_bounds = self.ec.tgraph.backward_required_bounds(self)
+        return self._required_bounds
+
+    def prune_bounds(self) -> PruneBounds:
+        """Both pruning bounds (tight backward required-time + legacy
+        suffix sum) as one shippable object -- what the pathfinder
+        prunes with and what the parallel driver computes once in the
+        parent and sends to worker shards."""
+        if self._prune_bounds is None:
+            self._prune_bounds = PruneBounds(
+                required=tuple(self.required_bounds()),
+                suffix=tuple(self.remaining_bounds()),
+            )
+        return self._prune_bounds

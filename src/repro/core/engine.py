@@ -71,8 +71,6 @@ class EngineCircuit:
         evaluators: Dict[str, CellEvaluator] = {}
         self.gates: List[EngineGate] = []
         self.driver: List[int] = [-1] * n_nets  # gate index or -1
-        #: net id -> list of (gate index, pin name)
-        self.sinks: List[List[Tuple[int, str]]] = [[] for _ in range(n_nets)]
 
         for inst in circuit.topological():
             cell = inst.cell
@@ -97,15 +95,30 @@ class EngineCircuit:
             )
             self.gates.append(gate)
             self.driver[output_net] = gate_index
-            for pin in cell.inputs:
-                self.sinks[self.net_id[inst.pins[pin]]].append((gate_index, pin))
 
         self.input_ids = [self.net_id[n] for n in circuit.inputs]
         self.output_ids = [self.net_id[n] for n in circuit.outputs]
+        self._tgraph = None
 
     @property
     def num_nets(self) -> int:
         return len(self.net_names)
+
+    @property
+    def tgraph(self):
+        """The circuit's levelized :class:`~repro.core.tgraph.TimingGraph`
+        (built lazily, shared by every engine bound to this circuit)."""
+        if self._tgraph is None:
+            from repro.core.tgraph import TimingGraph
+
+            self._tgraph = TimingGraph(self)
+        return self._tgraph
+
+    @property
+    def sinks(self) -> List[List[Tuple[int, str]]]:
+        """net id -> list of (gate index, pin name); a view of the
+        timing graph's fanout arcs (the graph owns the adjacency)."""
+        return self.tgraph.sinks
 
 
 # Trail entry tags.

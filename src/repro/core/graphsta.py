@@ -16,17 +16,13 @@ quantifies exactly what the paper's single-pass tool buys.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.charlib.store import CharacterizedLibrary
 from repro.core.delaycalc import DEFAULT_INPUT_SLEW, DelayCalculator
 from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
 from repro.netlist.circuit import Circuit
-
-#: Per-net timing datum: (arrival, slew), tracked per output polarity.
-_RISE = 0
-_FALL = 1
 
 
 @dataclass
@@ -47,7 +43,9 @@ class GbaResult:
 
 
 class GraphSTA:
-    """One-pass block-based analysis over the timing graph."""
+    """One-pass block-based analysis: a thin consumer of the timing
+    graph's forward worst-arrival pass
+    (:meth:`repro.core.tgraph.TimingGraph.forward_arrivals`)."""
 
     def __init__(
         self,
@@ -66,45 +64,20 @@ class GraphSTA:
         )
 
     def run(self) -> GbaResult:
-        arrivals: Dict[str, List[Optional[float]]] = {}
-        slews: Dict[str, List[Optional[float]]] = {}
-        for name in self.circuit.inputs:
-            arrivals[name] = [0.0, 0.0]
-            slews[name] = [self.calc.input_slew, self.calc.input_slew]
-
-        for gate in self.ec.gates:  # already topological
-            inst = gate.inst
-            out_arr: List[Optional[float]] = [None, None]
-            out_slew: List[Optional[float]] = [None, None]
-            for pin in gate.cell.inputs:
-                in_net = inst.pins[pin]
-                in_arr = arrivals.get(in_net, [None, None])
-                in_slew = slews.get(in_net, [None, None])
-                for option in gate.options[pin]:
-                    vector = option.vector
-                    for in_pol in (_RISE, _FALL):
-                        if in_arr[in_pol] is None:
-                            continue
-                        input_rising = in_pol == _RISE
-                        output_rising = input_rising ^ vector.inverting
-                        out_pol = _RISE if output_rising else _FALL
-                        try:
-                            delay, slew = self.calc.arc_timing(
-                                gate, pin, vector.vector_id, input_rising,
-                                output_rising, in_slew[in_pol],
-                            )
-                        except KeyError:
-                            continue
-                        arrival = in_arr[in_pol] + delay
-                        if out_arr[out_pol] is None or arrival > out_arr[out_pol]:
-                            out_arr[out_pol] = arrival
-                            out_slew[out_pol] = slew
-            arrivals[inst.output_net] = out_arr
-            slews[inst.output_net] = out_slew
-
+        forward = self.ec.tgraph.forward_arrivals(self.calc)
+        names = self.ec.net_names
+        # Report primary inputs and driven nets, like the historical
+        # name-keyed traversal did (every net is one or the other in a
+        # checked circuit).
+        reported = [
+            net for net in range(self.ec.num_nets)
+            if self.ec.is_input[net] or self.ec.driver[net] >= 0
+        ]
         return GbaResult(
-            arrivals={k: (v[0], v[1]) for k, v in arrivals.items()},
-            slews={k: (v[0], v[1]) for k, v in slews.items()},
+            arrivals={
+                names[net]: tuple(forward.arrivals[net]) for net in reported
+            },
+            slews={names[net]: tuple(forward.slews[net]) for net in reported},
         )
 
 

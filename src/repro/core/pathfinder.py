@@ -47,6 +47,7 @@ from repro.core.engine import (
 from repro.core.justification import Justifier, JustifyResult
 from repro.core.logic_values import Value9
 from repro.core.path import PathStep, PolarityTiming, TimedPath
+from repro.core.tgraph import PruneBounds
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import span
 
@@ -71,6 +72,9 @@ class SearchStats:
     justify_skipped: int = 0
     states_saved: int = 0
     pruned: int = 0
+    #: Prunes only the backward required-time bound achieved -- the
+    #: legacy context-free suffix sum would have kept the extension.
+    bound_prunes: int = 0
     cpu_seconds: float = 0.0
     _published: Dict[str, float] = field(default_factory=dict, repr=False)
 
@@ -199,7 +203,15 @@ class PathFinder:
         Stop after this many recorded paths (None = exhaustive).
     n_worst:
         When set, prune extensions that provably cannot reach the
-        current N-th worst arrival (uses reverse-topological bounds).
+        current N-th worst arrival, using the timing graph's backward
+        required-time bound (per-arc worst delays; provably tighter
+        than, and dominated-tested against, the legacy per-gate suffix
+        sum).
+    bounds:
+        Precomputed :class:`~repro.core.tgraph.PruneBounds` for the
+        ``n_worst`` pruning.  Defaults to ``calc.prune_bounds()``; the
+        parallel driver computes the bounds once in the parent process
+        and passes them here so worker shards skip the backward pass.
     single_polarity:
         Restrict the trace to one input polarity (``RISING`` or
         ``FALLING``).  The default (None) is the paper's dual-value
@@ -233,6 +245,7 @@ class PathFinder:
         single_polarity: Optional[int] = None,
         complete: bool = False,
         justify_skip: bool = True,
+        bounds: Optional[PruneBounds] = None,
     ):
         self.ec = ec
         self.calc = calc
@@ -244,11 +257,11 @@ class PathFinder:
         self.justify_skip = justify_skip
         self._origin: int = -1
         self.stats = SearchStats()
-        self._bounds: Optional[List[float]] = None
+        self._bounds: Optional[PruneBounds] = None
         self._best: List[float] = []  # min-heap of the N best arrivals
         self._stream: Optional[PathStream] = None
         if n_worst is not None:
-            self._bounds = calc.remaining_bounds()
+            self._bounds = bounds if bounds is not None else calc.prune_bounds()
 
     # ------------------------------------------------------------------
     def find_paths(
@@ -356,7 +369,7 @@ class PathFinder:
             for gate, pin, option in frame.options:
                 state.rollback(frame.mark)
                 self.stats.extensions_tried += 1
-                if self._prune(frame, gate):
+                if self._prune(frame, gate, pin):
                     self.stats.pruned += 1
                     continue
                 with span("pathfinder.step"):
@@ -389,14 +402,36 @@ class PathFinder:
                         return
 
     # ------------------------------------------------------------------
-    def _prune(self, frame: _Frame, gate: EngineGate) -> bool:
+    def _prune(self, frame: _Frame, gate: EngineGate, pin: str) -> bool:
+        """Whether extending through (gate, pin) provably cannot reach
+        the current N-th worst arrival.
+
+        The bound on any completion is the traversed arc's own worst
+        delay plus the backward required-time bound at the gate output
+        -- both maximized over the achievable-slew domain, so pruning
+        keeps the top-N set exact.  When the tighter bound fires where
+        the legacy per-gate suffix sum would have kept the extension,
+        ``bound_prunes`` records the win.
+        """
         if self._bounds is None or len(self._best) < (self.n_worst or 0):
             return False
         threshold = self._best[0]
-        bound = self._bounds[gate.output_net]
-        for _comp, (arrival, _slew) in frame.arc.timing.items():
-            if arrival + self.calc.worst_gate_delay(gate) + bound >= threshold:
+        through = (
+            self.calc.worst_arc_delay(gate, pin)
+            + self._bounds.required[gate.output_net]
+        )
+        timing = frame.arc.timing
+        for _comp, (arrival, _slew) in timing.items():
+            if arrival + through >= threshold:
                 return False
+        loose = (
+            self.calc.worst_gate_delay(gate)
+            + self._bounds.suffix[gate.output_net]
+        )
+        for _comp, (arrival, _slew) in timing.items():
+            if arrival + loose >= threshold:
+                self.stats.bound_prunes += 1
+                break
         return True
 
     def _apply(

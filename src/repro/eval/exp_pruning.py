@@ -1,0 +1,52 @@
+"""Pruning-effectiveness experiment for the N-worst search.
+
+Runs :meth:`TruePathSTA.n_worst_paths` on suite circuits and tabulates
+the search-effort counters, including ``bound_prunes`` -- extensions
+cut by the timing graph's backward required-time bound that the legacy
+context-free suffix sum would have kept.  The table is the source for
+the before/after snapshot in ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.sta import TruePathSTA
+from repro.eval.iscas import build_circuit
+from repro.eval.tables import render_table
+
+
+def run(
+    charlib: CharacterizedLibrary,
+    circuits: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    n_worst: int = 10,
+    max_dev_paths: int = 20000,
+    jobs: int = 1,
+) -> str:
+    """Render the per-circuit pruning-effort table."""
+    rows: List[List[str]] = []
+    for name in (circuits or ["c17", "c432", "c880a"]):
+        circuit = build_circuit(name, scale=scale)
+        sta = TruePathSTA(circuit, charlib)
+        start = time.perf_counter()
+        paths = sta.n_worst_paths(n_worst, max_paths=max_dev_paths, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        stats = sta.last_stats
+        rows.append([
+            name,
+            str(len(paths)),
+            f"{paths[0].worst_arrival * 1e12:.1f}" if paths else "-",
+            str(int(stats.extensions_tried)),
+            str(int(stats.pruned)),
+            str(int(stats.bound_prunes)),
+            f"{elapsed:.2f}",
+        ])
+    return render_table(
+        ["circuit", f"paths (N={n_worst})", "worst (ps)",
+         "extensions_tried", "pruned", "bound_prunes", "time (s)"],
+        rows,
+        title="N-worst search effort with backward required-time pruning",
+    )

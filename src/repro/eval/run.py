@@ -64,7 +64,7 @@ def main(argv=None) -> int:
         "--experiment",
         required=True,
         choices=["tables12", "tables34", "fig23", "table5", "table6",
-                 "accuracy", "simultaneous", "pvt", "gba"],
+                 "accuracy", "simultaneous", "pvt", "gba", "pruning"],
     )
     parser.add_argument("--tech", default="130nm", choices=list(TECHNOLOGIES))
     parser.add_argument("--circuits", nargs="*", default=None)
@@ -140,6 +140,19 @@ def main(argv=None) -> int:
                 scale=args.scale,
                 backtrack_limit=args.backtrack_limit,
                 max_dev_paths=args.max_dev_paths,
+            ),
+        )
+    if args.experiment == "pruning":
+        from repro.eval import exp_pruning
+
+        return _finish(
+            args,
+            exp_pruning.run(
+                poly,
+                circuits=args.circuits,
+                scale=args.scale,
+                max_dev_paths=args.max_dev_paths,
+                jobs=args.jobs,
             ),
         )
     if args.experiment == "gba":

@@ -1,4 +1,9 @@
-"""Levelization and depth utilities."""
+"""Levelization and depth utilities.
+
+The level computation itself lives in :mod:`repro.core.tgraph` (the
+timing-graph substrate shared by all analysis engines); this module
+keeps the name-keyed convenience wrappers for plain netlist work.
+"""
 
 from __future__ import annotations
 
@@ -9,14 +14,13 @@ from repro.netlist.circuit import Circuit, Instance
 
 def levelize(circuit: Circuit) -> Dict[str, int]:
     """Level of every net: primary inputs are 0, a gate output is one
-    more than its deepest input net."""
-    levels: Dict[str, int] = {name: 0 for name in circuit.inputs}
-    for inst in circuit.topological():
-        level = 0
-        for net_name in inst.pins.values():
-            level = max(level, levels.get(net_name, 0))
-        levels[inst.output_net] = level + 1
-    return levels
+    more than its deepest input net.  Delegates to the timing graph's
+    :func:`repro.core.tgraph.net_levels`."""
+    # Imported lazily: the netlist package must stay importable without
+    # pulling the whole analysis core in at import time.
+    from repro.core.tgraph import net_levels
+
+    return net_levels(circuit)
 
 
 def logic_depth(circuit: Circuit) -> int:

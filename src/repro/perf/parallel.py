@@ -113,9 +113,22 @@ def parallel_find_paths(
     )
     jobs = min(jobs, max(len(origins), 1))
     with span("perf.parallel_find_paths"):
+        parent_ec = parent_calc = None
+        if n_worst is not None:
+            # The backward required-time bounds depend only on the
+            # circuit and corner: compute them once here and ship the
+            # plain float tuples to every shard, instead of paying the
+            # backward pass (and its model sweeps) once per worker.
+            parent_ec = EngineCircuit(circuit)
+            parent_calc = DelayCalculator(parent_ec, charlib, **calc_kwargs)
+            finder_kwargs["bounds"] = parent_calc.prune_bounds()
         if jobs == 1:
-            ec = EngineCircuit(circuit)
-            calc = DelayCalculator(ec, charlib, **calc_kwargs)
+            ec = parent_ec if parent_ec is not None else EngineCircuit(circuit)
+            calc = (
+                parent_calc
+                if parent_calc is not None
+                else DelayCalculator(ec, charlib, **calc_kwargs)
+            )
             shards = [
                 _run_shard(ec, calc, finder_kwargs, [name])
                 for name in origins
