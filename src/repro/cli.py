@@ -191,6 +191,57 @@ def _analyze(args) -> int:
     return _finish_obs(args)
 
 
+def _verify(args) -> int:
+    _setup_obs(args)
+    library = default_library()
+    tech = TECHNOLOGIES[args.tech]
+    charlib = cached_charlib(library, tech)
+    failed = False
+
+    if args.oracle or args.metamorphic:
+        specs = args.circuit or ["iscas:c17", "iscas:c432@0.05"]
+        for spec in specs:
+            circuit = load_circuit(spec)
+            if args.oracle:
+                from repro.verify import run_oracle
+
+                report = run_oracle(circuit, charlib,
+                                    max_inputs=args.max_inputs)
+                print(report.summary())
+                for mismatch in report.mismatches:
+                    print(f"  {mismatch.describe()}")
+                failed = failed or not report.ok
+            if args.metamorphic:
+                from repro.verify import run_metamorphic
+
+                results = run_metamorphic(circuit, charlib, jobs=args.jobs)
+                print(f"metamorphic {circuit.name}:")
+                for result in results:
+                    print(f"  {result.describe()}")
+                failed = failed or any(not r.ok for r in results)
+
+    if args.fuzz is not None:
+        from repro.verify import run_fuzz
+
+        report = run_fuzz(charlib, n=args.fuzz, seed=args.seed,
+                          jobs=args.jobs)
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  {failure.describe()}")
+            if args.artifact_dir:
+                out_dir = Path(args.artifact_dir)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                out = out_dir / (
+                    f"counterexample_s{failure.seed}_i{failure.index}.v"
+                )
+                out.write_text(failure.verilog)
+                print(f"  wrote {out}")
+        failed = failed or not report.ok
+
+    obs_rc = _finish_obs(args)
+    return 1 if failed else obs_rc
+
+
 def _stats(args) -> int:
     circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
     for key, value in circuit.stats().items():
@@ -238,6 +289,44 @@ def main(argv: Optional[list] = None) -> int:
     analyze.add_argument("--metrics-json", default=None, metavar="PATH",
                          help="write the metrics+span snapshot to PATH")
     analyze.set_defaults(func=_analyze)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: exhaustive oracle, metamorphic "
+             "invariants, seeded fuzzing (repro.verify)",
+    )
+    verify.add_argument("--oracle", action="store_true",
+                        help="exhaustively sweep each --circuit through "
+                             "event simulation and cross-check the "
+                             "pathfinder's delay/course/vector")
+    verify.add_argument("--metamorphic", action="store_true",
+                        help="check the cross-engine invariant catalog "
+                             "on each --circuit")
+    verify.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="fuzz N random mapped circuits, shrinking "
+                             "any failure to a minimal counterexample")
+    verify.add_argument("--circuit", action="append", default=None,
+                        metavar="SPEC",
+                        help="netlist file or iscas:<name>[@scale] spec "
+                             "for --oracle/--metamorphic (repeatable; "
+                             "default: iscas:c17 iscas:c432@0.05)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="fuzz batch seed (default 0)")
+    verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the parallel-identical "
+                             "invariant (1 = in-process shard/merge)")
+    verify.add_argument("--max-inputs", type=int, default=18,
+                        help="refuse oracle sweeps beyond this many "
+                             "primary inputs (n * 2**n simulations)")
+    verify.add_argument("--artifact-dir", default=None, metavar="DIR",
+                        help="write shrunk fuzz counterexamples (.v) here")
+    verify.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
+    verify.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"])
+    verify.add_argument("--log-json", default=None, metavar="PATH")
+    verify.add_argument("--profile", action="store_true")
+    verify.add_argument("--metrics-json", default=None, metavar="PATH")
+    verify.set_defaults(func=_verify)
 
     stats = sub.add_parser("stats", help="print netlist statistics")
     stats.add_argument("netlist")

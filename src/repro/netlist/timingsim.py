@@ -36,6 +36,9 @@ class NetEvent:
     time: float
     value: int
     slew: float
+    #: (net name, event index) of the input-pin event whose gate
+    #: evaluation scheduled this change; None for the stimulus event.
+    cause: Optional[Tuple[str, int]] = None
 
 
 @dataclass
@@ -59,6 +62,22 @@ class SimulationResult:
 
     def toggled(self, net: str) -> bool:
         return bool(self.events.get(net))
+
+    def causal_chain(self, net: str) -> List[Tuple[str, NetEvent]]:
+        """The chain of events that produced ``net``'s final change,
+        stimulus first: follow each event's ``cause`` pointer back to
+        the primary-input toggle.  Empty when the net never toggled."""
+        chain: List[Tuple[str, NetEvent]] = []
+        event = self.last_event(net)
+        current = net
+        while event is not None:
+            chain.append((current, event))
+            if event.cause is None:
+                break
+            current, index = event.cause
+            event = self.events[current][index]
+        chain.reverse()
+        return chain
 
 
 class TimingSimulator:
@@ -108,8 +127,8 @@ class TimingSimulator:
             slews.setdefault(net, self.calc.input_slew)
 
         counter = itertools.count()
-        #: (time, tiebreak, net, new_value, slew)
-        queue: List[Tuple[float, int, str, int, float]] = []
+        #: (time, tiebreak, net, new_value, slew, cause)
+        queue: List[Tuple[float, int, str, int, float, Optional[Tuple[str, int]]]] = []
         #: net -> (scheduled time, stamp); an event is live only while
         #: its stamp is the net's current pending stamp (inertial
         #: cancellation and supersession both just replace the stamp).
@@ -119,13 +138,13 @@ class TimingSimulator:
         heapq.heappush(
             queue,
             (0.0, first, toggle_input, 1 if rising else 0,
-             self.calc.input_slew),
+             self.calc.input_slew, None),
         )
         events: Dict[str, List[NetEvent]] = {}
         evaluations = 0
 
         while queue:
-            time, tie, net, new_value, slew = heapq.heappop(queue)
+            time, tie, net, new_value, slew, cause = heapq.heappop(queue)
             if time > horizon:
                 break
             stamp = pending.get(net)
@@ -136,7 +155,10 @@ class TimingSimulator:
                 continue
             values[net] = new_value
             slews[net] = slew
-            events.setdefault(net, []).append(NetEvent(time, new_value, slew))
+            events.setdefault(net, []).append(
+                NetEvent(time, new_value, slew, cause)
+            )
+            source = (net, len(events[net]) - 1)
             for gate_index, pin in self.ec.sinks[self.ec.net_id[net]]:
                 gate = self.ec.gates[gate_index]
                 evaluations += 1
@@ -162,7 +184,8 @@ class TimingSimulator:
                     continue
                 pending[out_net] = (event_time, stamp)
                 heapq.heappush(
-                    queue, (event_time, stamp, out_net, target, out_slew)
+                    queue,
+                    (event_time, stamp, out_net, target, out_slew, source),
                 )
 
         final = dict(values)

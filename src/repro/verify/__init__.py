@@ -1,0 +1,55 @@
+"""Differential verification of the true-path engines.
+
+Three certification tiers, each independent of the machinery it checks
+(the correctness analogue of the SPICE-golden evaluation flow):
+
+* :mod:`repro.verify.oracle` -- an **exhaustive differential oracle**
+  for circuits small enough to sweep: every input vector x toggled
+  input x direction goes through :mod:`repro.netlist.timingsim` event
+  simulation, and the derived per-endpoint ground truth (worst settle
+  time, sensitized course, stimulus vector) is cross-checked against
+  the :class:`~repro.core.pathfinder.PathFinder` results.
+* :mod:`repro.verify.metamorphic` -- **cross-engine invariants** that
+  hold on arbitrary circuits where exhaustion is infeasible: GBA
+  arrivals bound every true path, structural paths are a superset of
+  sensitizable paths, parallel sharding is output-identical to serial,
+  and N-worst pruning is output-identical to exhaustive search.
+* :mod:`repro.verify.fuzz` -- a **seeded random-netlist fuzz driver**
+  that generates mapped DAGs, runs the above checks, shrinks any
+  failing circuit to a minimal counterexample
+  (:mod:`repro.verify.shrink`) and serializes it for pinning under
+  ``tests/seeds/``.
+
+Progress surfaces through :mod:`repro.obs` as ``verify.*`` metrics:
+``verify.circuits_checked``, ``verify.mismatches``,
+``verify.shrink_steps``.  The CLI front end is ``repro.cli verify``.
+"""
+
+from repro.verify.fuzz import FuzzFailure, FuzzReport, load_seed, run_fuzz
+from repro.verify.metamorphic import (
+    INVARIANTS,
+    InvariantResult,
+    run_metamorphic,
+)
+from repro.verify.oracle import (
+    EndpointTruth,
+    OracleMismatch,
+    OracleReport,
+    run_oracle,
+)
+from repro.verify.shrink import shrink_circuit
+
+__all__ = [
+    "EndpointTruth",
+    "FuzzFailure",
+    "FuzzReport",
+    "INVARIANTS",
+    "InvariantResult",
+    "OracleMismatch",
+    "OracleReport",
+    "load_seed",
+    "run_fuzz",
+    "run_metamorphic",
+    "run_oracle",
+    "shrink_circuit",
+]

@@ -1,0 +1,277 @@
+"""Cross-engine metamorphic invariants.
+
+Where exhaustive sweeping is infeasible (more than ~18 inputs) the
+engines still certify each other: the repo carries three analysis modes
+plus several search configurations that must relate in provable ways.
+Each invariant below is an executable statement of one such relation;
+a violation on *any* circuit is a bug, so the fuzz driver can assert
+them on arbitrarily large random netlists.
+
+The catalog (see docs/TESTING.md):
+
+``gba_bounds``
+    GraphSTA's forward worst-arrival pass maximizes per gate over every
+    sensitization vector with no joint-sensitizability check, so its
+    endpoint arrival upper-bounds every pathfinder true path at the
+    same endpoint (up to model noise from slew selection at
+    reconvergence).
+``structural_superset``
+    The baseline's structural enumeration ignores logic, so its course
+    set is a superset of the pathfinder's sensitizable course set.
+``parallel_identical``
+    The parallel driver shards by origin and merges in declaration
+    order; its output must be identical to the serial search -- same
+    paths, same order, bit-equal arrivals.
+``pruning_identical``
+    N-worst pruning uses admissible bounds, so the pruned search's
+    top-N multiset of arrivals equals the exhaustive search's, and
+    every pruned path is one of the exhaustive paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baseline.structural import StructuralEnumerator
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.graphsta import GraphSTA
+from repro.core.path import TimedPath
+from repro.core.sta import TruePathSTA
+from repro.netlist.circuit import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.verify")
+
+#: Invariant names, in execution order.
+INVARIANTS = (
+    "gba_bounds",
+    "structural_superset",
+    "parallel_identical",
+    "pruning_identical",
+)
+
+#: Model-noise allowance for the GBA dominance check: GBA propagates
+#: the slew of the worst-arrival predecessor, which at reconvergence
+#: can differ slightly from the slew the true path actually sees.
+GBA_REL_TOL = 0.02
+
+
+@dataclass
+class InvariantResult:
+    """Outcome of one invariant on one circuit."""
+
+    name: str
+    ok: bool
+    checked: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "VIOLATED"
+        tail = f" -- {self.detail}" if self.detail else ""
+        return f"{self.name}: {status} ({self.checked} comparisons){tail}"
+
+
+def _path_identity(path: TimedPath) -> Tuple:
+    """Full output identity of a path: course, vectors, and bit-exact
+    per-polarity arrivals/slews."""
+    timing = tuple(
+        (pol.input_rising, pol.output_rising, pol.arrival, pol.slew)
+        for pol in path.polarities()
+    )
+    return (path.nets, path.vector_signature, timing)
+
+
+def check_gba_bounds(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    paths: Optional[Sequence[TimedPath]] = None,
+    max_paths: Optional[int] = 5000,
+    rel_tol: float = GBA_REL_TOL,
+) -> InvariantResult:
+    if paths is None:
+        paths = TruePathSTA(circuit, charlib).enumerate_paths(
+            max_paths=max_paths
+        )
+    gba = GraphSTA(circuit, charlib).run()
+    checked = 0
+    for path in paths:
+        endpoint = path.nets[-1]
+        try:
+            bound = gba.worst_arrival(endpoint)
+        except (KeyError, ValueError):
+            return InvariantResult(
+                "gba_bounds", False, checked,
+                f"endpoint {endpoint} has a true path but no GBA arrival",
+            )
+        checked += 1
+        if path.worst_arrival > bound * (1.0 + rel_tol):
+            return InvariantResult(
+                "gba_bounds", False, checked,
+                (f"true path {path.worst_arrival * 1e12:.1f}ps exceeds GBA "
+                 f"bound {bound * 1e12:.1f}ps at {endpoint}: "
+                 f"{path.describe()}"),
+            )
+    return InvariantResult("gba_bounds", True, checked)
+
+
+def check_structural_superset(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    paths: Optional[Sequence[TimedPath]] = None,
+    max_structural: int = 200_000,
+) -> InvariantResult:
+    sta = TruePathSTA(circuit, charlib)
+    if paths is None:
+        paths = sta.enumerate_paths(max_paths=5000)
+    enumerator = StructuralEnumerator(sta.ec, sta.calc)
+    total = enumerator.count_paths()
+    if total > max_structural:
+        return InvariantResult(
+            "structural_superset", True, 0,
+            f"skipped: {total} structural paths exceed the "
+            f"{max_structural} enumeration cap",
+        )
+    structural = set()
+    names = sta.ec.net_names
+    gates = sta.ec.gates
+    for spath in enumerator.iter_paths(limit=total):
+        nets = [names[spath.origin_net]]
+        for gate_index, _pin in spath.hops:
+            nets.append(names[gates[gate_index].output_net])
+        structural.add(tuple(nets))
+    checked = 0
+    for path in paths:
+        checked += 1
+        if path.course not in structural:
+            return InvariantResult(
+                "structural_superset", False, checked,
+                f"sensitized course missing structurally: {path.describe()}",
+            )
+    return InvariantResult("structural_superset", True, checked)
+
+
+def check_parallel_identical(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    jobs: int = 2,
+    max_paths: Optional[int] = 2000,
+    n_worst: Optional[int] = None,
+) -> InvariantResult:
+    from repro.perf import parallel_find_paths
+
+    serial = TruePathSTA(circuit, charlib).enumerate_paths(
+        max_paths=max_paths, n_worst=n_worst
+    )
+    parallel, _stats = parallel_find_paths(
+        circuit, charlib, jobs=jobs, max_paths=max_paths, n_worst=n_worst
+    )
+    if n_worst is None:
+        serial_ids = [_path_identity(p) for p in serial]
+        parallel_ids = [_path_identity(p) for p in parallel]
+        if serial_ids != parallel_ids:
+            return InvariantResult(
+                "parallel_identical", False, len(serial),
+                (f"serial ({len(serial)} paths) and jobs={jobs} "
+                 f"({len(parallel)} paths) streams differ"),
+            )
+    else:
+        # Per-shard heaps prune at most as hard as the global heap, so
+        # the merge is a superset whose top-N equals the serial top-N.
+        keep = sorted(parallel, key=lambda p: p.worst_arrival,
+                      reverse=True)[:n_worst]
+        want = sorted(serial, key=lambda p: p.worst_arrival,
+                      reverse=True)[:n_worst]
+        if ([p.worst_arrival for p in keep]
+                != [p.worst_arrival for p in want]):
+            return InvariantResult(
+                "parallel_identical", False, len(want),
+                f"jobs={jobs} top-{n_worst} arrivals differ from serial",
+            )
+    return InvariantResult("parallel_identical", True, len(serial),
+                           f"jobs={jobs}")
+
+
+def check_pruning_identical(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    n_worst: int = 5,
+    exhaustive: Optional[Sequence[TimedPath]] = None,
+) -> InvariantResult:
+    sta = TruePathSTA(circuit, charlib)
+    if exhaustive is None:
+        exhaustive = sta.enumerate_paths()
+    pruned = sta.n_worst_paths(n_worst)
+    want = sorted(exhaustive, key=lambda p: p.worst_arrival,
+                  reverse=True)[:n_worst]
+    if [p.worst_arrival for p in pruned] != [p.worst_arrival for p in want]:
+        return InvariantResult(
+            "pruning_identical", False, len(want),
+            (f"pruned top-{n_worst} arrivals "
+             f"{[round(p.worst_arrival * 1e12, 2) for p in pruned]} != "
+             f"exhaustive {[round(p.worst_arrival * 1e12, 2) for p in want]}"),
+        )
+    exhaustive_ids = {_path_identity(p) for p in exhaustive}
+    for path in pruned:
+        if _path_identity(path) not in exhaustive_ids:
+            return InvariantResult(
+                "pruning_identical", False, len(want),
+                f"pruned path absent from exhaustive run: {path.describe()}",
+            )
+    return InvariantResult("pruning_identical", True, len(want))
+
+
+_CHECKS = {
+    "gba_bounds": check_gba_bounds,
+    "structural_superset": check_structural_superset,
+    "parallel_identical": check_parallel_identical,
+    "pruning_identical": check_pruning_identical,
+}
+
+
+def run_metamorphic(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    invariants: Optional[Sequence[str]] = None,
+    jobs: int = 2,
+    n_worst: int = 5,
+    max_paths: Optional[int] = 5000,
+) -> List[InvariantResult]:
+    """Run the invariant catalog (or a named subset) on one circuit.
+
+    The true-path enumeration is shared across invariants so a full run
+    costs roughly one exhaustive search plus one parallel search.
+    ``jobs=1`` exercises the shard/merge pipeline in-process (no pool),
+    which is cheap enough for per-circuit fuzzing; ``jobs>=2`` also
+    covers cross-process determinism.
+    """
+    selected = list(invariants) if invariants is not None else list(INVARIANTS)
+    unknown = [name for name in selected if name not in _CHECKS]
+    if unknown:
+        raise ValueError(f"unknown invariants {unknown}; have {INVARIANTS}")
+    paths = TruePathSTA(circuit, charlib).enumerate_paths(max_paths=max_paths)
+    results: List[InvariantResult] = []
+    for name in selected:
+        if name == "gba_bounds":
+            result = check_gba_bounds(circuit, charlib, paths=paths)
+        elif name == "structural_superset":
+            result = check_structural_superset(circuit, charlib, paths=paths)
+        elif name == "parallel_identical":
+            result = check_parallel_identical(
+                circuit, charlib, jobs=jobs, max_paths=max_paths
+            )
+        else:
+            result = check_pruning_identical(
+                circuit, charlib, n_worst=n_worst,
+                exhaustive=paths if max_paths is None else None,
+            )
+        results.append(result)
+    registry = obs_metrics.REGISTRY
+    registry.counter("verify.circuits_checked").inc()
+    failures = [r for r in results if not r.ok]
+    registry.counter("verify.mismatches").inc(len(failures))
+    log = _log.warning if failures else _log.info
+    log("metamorphic.done", circuit=circuit.name,
+        invariants=",".join(selected), failures=len(failures))
+    return results

@@ -1,0 +1,347 @@
+"""Exhaustive differential oracle for small circuits.
+
+For a combinational circuit with ``n`` primary inputs the oracle runs
+``n * 2**n`` event simulations -- every full input vector, every toggled
+input, both directions -- and derives per primary output the *true*
+worst sensitized delay, the stimulus that achieves it, and (when the
+propagation is glitch-free) the exact gate sequence it took.  That
+ground truth comes from :class:`repro.netlist.timingsim.TimingSimulator`
+-- the same characterized arcs as the path search, but a completely
+different mechanism (event propagation vs backtracking path search) --
+so agreement certifies the optimized pathfinder end to end: slew-domain
+pruning bounds, arc caches, justify-skip, backward required-time
+pruning and all.
+
+Soundness of the comparison requires one distinction.  A *clean*
+transition propagates through exactly one gate sequence with every
+side input silent: such a traversal is statically sensitized by the
+settled side values, so the pathfinder **must** report its course and
+at least its delay.  A *glitchy* transition (reconvergent multi-input
+switching inside the cone) can settle an endpoint through the joint
+action of several paths, which single-path static sensitization --
+the paper's criterion, shared by every engine here -- makes no claim
+about; those transitions inform the report but cannot hard-fail it.
+
+Cross-checks per circuit:
+
+``endpoint``
+    Every endpoint with a clean settled transition has at least one
+    pathfinder true path; every endpoint the pathfinder reports is
+    dynamically settled by some stimulus.
+``delay``
+    Per endpoint, the pathfinder's worst arrival is at least the worst
+    *clean* settle time (within the cross-mechanism tolerance); the
+    opposite direction is enforced by the vector replay below.
+``vector``
+    Replaying the worst reported path's sensitization vector makes the
+    endpoint toggle at (close to) the reported arrival -- so the
+    reported delay also *materializes* and cannot exceed ground truth.
+``course``
+    The worst clean transition's causal gate sequence appears among
+    the pathfinder's true-path courses for that endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.path import TimedPath
+from repro.core.sta import TruePathSTA
+from repro.netlist.circuit import Circuit
+from repro.netlist.timingsim import SimulationResult, TimingSimulator
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+
+_log = get_logger("repro.verify")
+
+#: Cross-mechanism tolerance on delay comparisons; matches the
+#: STA-vs-simulation tolerance the timing-simulator tests pin.
+DEFAULT_REL_TOL = 0.15
+
+#: Refuse to sweep circuits beyond this many primary inputs (the sweep
+#: is n * 2**n simulations).
+DEFAULT_MAX_INPUTS = 18
+
+
+@dataclass
+class EndpointTruth:
+    """Ground truth for one primary output, from the exhaustive sweep."""
+
+    endpoint: str
+    #: Worst settle time over every settled transition (clean or not).
+    delay: float
+    #: Toggled primary input / direction / full post-transition input
+    #: vector of that worst transition.
+    origin: str
+    rising: bool
+    vector: Dict[str, int]
+    #: Worst settle time over *clean* transitions only (None when every
+    #: settled transition was glitchy).
+    clean_delay: Optional[float] = None
+    #: Causal net sequence of the worst clean transition.
+    course: Optional[Tuple[str, ...]] = None
+    #: How many transitions settled this endpoint at all.
+    sensitizing_transitions: int = 0
+
+
+@dataclass
+class OracleMismatch:
+    """One disagreement between the oracle and the pathfinder."""
+
+    kind: str  # "endpoint" | "delay" | "vector" | "course"
+    endpoint: str
+    detail: str
+    oracle_delay: Optional[float] = None
+    finder_delay: Optional[float] = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.kind}] {self.endpoint}: {self.detail}"]
+        if self.oracle_delay is not None:
+            parts.append(f"oracle={self.oracle_delay * 1e12:.1f}ps")
+        if self.finder_delay is not None:
+            parts.append(f"finder={self.finder_delay * 1e12:.1f}ps")
+        return " ".join(parts)
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one exhaustive differential run."""
+
+    circuit: str
+    inputs: int
+    transitions: int
+    paths: int
+    truths: Dict[str, EndpointTruth] = field(default_factory=dict)
+    finder_worst: Dict[str, TimedPath] = field(default_factory=dict)
+    mismatches: List[OracleMismatch] = field(default_factory=list)
+    #: Endpoints whose clean-course cross-check actually fired.
+    courses_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} MISMATCH(ES)"
+        return (
+            f"oracle {self.circuit}: {status} "
+            f"({self.inputs} inputs, {self.transitions} transitions, "
+            f"{self.paths} true paths, {len(self.truths)} live endpoints, "
+            f"{self.courses_checked} course checks)"
+        )
+
+
+def clean_course(
+    circuit: Circuit, result: SimulationResult, endpoint: str
+) -> Optional[Tuple[str, ...]]:
+    """Causal net course of the endpoint's final event, or None unless
+    the propagation was provably a single statically-sensitized
+    traversal: every chain net changed exactly once, each chain net
+    feeds exactly one pin of the gate it propagates through, and every
+    side input of every chain gate never changed (so each gate
+    evaluated its arc against settled side values)."""
+    chain = result.causal_chain(endpoint)
+    if len(chain) < 2:
+        return None
+    names = [name for name, _event in chain]
+    for name in names:
+        if len(result.events.get(name, ())) != 1:
+            return None
+    for hop in range(1, len(names)):
+        driver = circuit.nets[names[hop]].driver
+        if driver is None:
+            return None
+        # The causing net must feed exactly one pin: techmap can tie one
+        # net to several pins of a cell (AO21 A=x, C=x), and toggling it
+        # then switches multiple pins at once -- dynamically valid, but
+        # outside the single-input-switching model static sensitization
+        # reasons about, so no claim on the pathfinder follows.
+        if sum(1 for n in driver.pins.values() if n == names[hop - 1]) != 1:
+            return None
+        for net_name in driver.pins.values():
+            if net_name != names[hop - 1] and result.events.get(net_name):
+                return None
+    return tuple(names)
+
+
+def _settled(result: SimulationResult, net: str) -> bool:
+    """Whether the net's final value differs from its pre-transition
+    value (every recorded event is a real change, so an odd count means
+    a settled change rather than a glitch)."""
+    return len(result.events.get(net, ())) % 2 == 1
+
+
+def run_oracle(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    rel_tol: float = DEFAULT_REL_TOL,
+    complete: bool = True,
+    horizon: float = 1e-7,
+) -> OracleReport:
+    """Exhaustively certify the pathfinder against event simulation.
+
+    ``complete=True`` (default) runs the pathfinder's provably-complete
+    justification mode, so an endpoint/course disagreement is a genuine
+    bug on one side rather than the paper-mode's documented
+    early-commitment optimism.  Raises :class:`ValueError` when the
+    circuit has more than ``max_inputs`` primary inputs.
+    """
+    n = len(circuit.inputs)
+    if n > max_inputs:
+        raise ValueError(
+            f"{circuit.name}: {n} primary inputs exceeds the oracle sweep "
+            f"limit of {max_inputs} ({n} * 2**{n} simulations)"
+        )
+    registry = obs_metrics.REGISTRY
+    report = OracleReport(
+        circuit=circuit.name, inputs=n, transitions=n * (1 << n), paths=0
+    )
+
+    sim = TimingSimulator(circuit, charlib)
+    truths: Dict[str, EndpointTruth] = {}
+    with span("verify.oracle_sweep"):
+        for bits in itertools.product((0, 1), repeat=n):
+            vector = dict(zip(circuit.inputs, bits))
+            for origin in circuit.inputs:
+                rising = vector[origin] == 1
+                result = sim.simulate_transition(
+                    vector, origin, rising, horizon=horizon
+                )
+                for endpoint in circuit.outputs:
+                    if not _settled(result, endpoint):
+                        continue
+                    settle = result.settled_time(endpoint)
+                    truth = truths.get(endpoint)
+                    if truth is None:
+                        truth = truths[endpoint] = EndpointTruth(
+                            endpoint=endpoint, delay=settle, origin=origin,
+                            rising=rising, vector=dict(vector),
+                        )
+                    truth.sensitizing_transitions += 1
+                    if settle > truth.delay:
+                        truth.delay = settle
+                        truth.origin = origin
+                        truth.rising = rising
+                        truth.vector = dict(vector)
+                    if truth.clean_delay is None or settle > truth.clean_delay:
+                        course = clean_course(circuit, result, endpoint)
+                        if course is not None:
+                            truth.clean_delay = settle
+                            truth.course = course
+    report.truths = truths
+
+    with span("verify.oracle_finder"):
+        sta = TruePathSTA(circuit, charlib)
+        paths = sta.enumerate_paths(complete=complete)
+    report.paths = len(paths)
+    finder_courses: Dict[str, Set[Tuple[str, ...]]] = {}
+    for path in paths:
+        endpoint = path.nets[-1]
+        finder_courses.setdefault(endpoint, set()).add(path.course)
+        best = report.finder_worst.get(endpoint)
+        if best is None or path.worst_arrival > best.worst_arrival:
+            report.finder_worst[endpoint] = path
+
+    _cross_check(report, finder_courses, sim, circuit, rel_tol)
+
+    registry.counter("verify.circuits_checked").inc()
+    registry.counter("verify.mismatches").inc(len(report.mismatches))
+    log = _log.warning if report.mismatches else _log.info
+    log("oracle.done", circuit=circuit.name, inputs=n,
+        transitions=report.transitions, paths=report.paths,
+        mismatches=len(report.mismatches))
+    return report
+
+
+def _cross_check(
+    report: OracleReport,
+    finder_courses: Dict[str, Set[Tuple[str, ...]]],
+    sim: TimingSimulator,
+    circuit: Circuit,
+    rel_tol: float,
+) -> None:
+    finder_live = set(report.finder_worst)
+    for endpoint, truth in sorted(report.truths.items()):
+        if truth.clean_delay is not None and endpoint not in finder_live:
+            report.mismatches.append(OracleMismatch(
+                kind="endpoint", endpoint=endpoint,
+                detail=(f"cleanly sensitizable (toggle {truth.origin} "
+                        f"{'rise' if truth.rising else 'fall'}, course "
+                        f"{' -> '.join(truth.course or ())}) but the "
+                        "pathfinder reports no true path"),
+                oracle_delay=truth.clean_delay,
+            ))
+    for endpoint in sorted(finder_live - set(report.truths)):
+        path = report.finder_worst[endpoint]
+        report.mismatches.append(OracleMismatch(
+            kind="endpoint", endpoint=endpoint,
+            detail=("pathfinder reports a true path but no exhaustive "
+                    f"stimulus ever settles it ({path.describe()})"),
+            finder_delay=path.worst_arrival,
+        ))
+
+    for endpoint in sorted(finder_live & set(report.truths)):
+        truth = report.truths[endpoint]
+        path = report.finder_worst[endpoint]
+        finder_delay = path.worst_arrival
+
+        if truth.clean_delay is not None:
+            if finder_delay < truth.clean_delay * (1.0 - rel_tol):
+                report.mismatches.append(OracleMismatch(
+                    kind="delay", endpoint=endpoint,
+                    detail=(f"pathfinder misses delay: worst clean stimulus "
+                            f"(toggle {truth.origin} "
+                            f"{'rise' if truth.rising else 'fall'}) settles "
+                            f"later than any reported path"),
+                    oracle_delay=truth.clean_delay,
+                    finder_delay=finder_delay,
+                ))
+            report.courses_checked += 1
+            if truth.course not in finder_courses.get(endpoint, set()):
+                report.mismatches.append(OracleMismatch(
+                    kind="course", endpoint=endpoint,
+                    detail=(f"clean dynamic worst course "
+                            f"{' -> '.join(truth.course)} is not among the "
+                            f"pathfinder's true-path courses"),
+                    oracle_delay=truth.clean_delay,
+                ))
+
+        # Vector replay: the reported sensitization vector must make the
+        # endpoint toggle, arriving near the reported arrival -- which
+        # also proves the reported delay is not an over-estimate.
+        polarity = max(path.polarities(), key=lambda p: p.arrival)
+        concrete = {
+            k: (v if v in (0, 1) else 0)
+            for k, v in polarity.input_vector.items()
+        }
+        replay = sim.simulate_transition(
+            concrete, path.nets[0], polarity.input_rising
+        )
+        if not replay.toggled(endpoint):
+            report.mismatches.append(OracleMismatch(
+                kind="vector", endpoint=endpoint,
+                detail=(f"reported vector {concrete} (toggle {path.nets[0]}) "
+                        "does not toggle the endpoint in simulation"),
+                finder_delay=polarity.arrival,
+            ))
+        elif clean_course(circuit, replay, endpoint) is not None:
+            # Only a clean replay pins the settle time to this one
+            # path; glitchy replays (the vector also wiggles other
+            # paths into the endpoint) prove sensitization but not the
+            # exact delay.
+            measured = replay.settled_time(endpoint)
+            if abs(measured - polarity.arrival) > rel_tol * max(
+                measured, polarity.arrival
+            ):
+                report.mismatches.append(OracleMismatch(
+                    kind="vector", endpoint=endpoint,
+                    detail=(f"replayed vector settles at "
+                            f"{measured * 1e12:.1f}ps, beyond "
+                            f"rel_tol={rel_tol} of the reported arrival"),
+                    finder_delay=polarity.arrival,
+                ))

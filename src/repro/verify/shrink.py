@@ -1,0 +1,188 @@
+"""Counterexample minimization for failing verification circuits.
+
+Fuzzing finds failures on circuits of tens of gates; debugging wants
+the two-gate core.  :func:`shrink_circuit` greedily applies two
+structure-preserving reductions while a caller-supplied predicate keeps
+reporting failure:
+
+* **cone extraction** -- restrict the circuit to a single output's
+  transitive fanin (tried smallest cone first);
+* **gate bypass** -- delete one gate by rewiring everything that read
+  its output to read one of its input nets instead, then drop whatever
+  logic that leaves dead.
+
+Both reductions only remove or reconnect existing structure, so the
+shrunk circuit is always a sub-network of the original built from the
+same library cells -- exactly what a pinned regression seed should be.
+The predicate re-runs after every candidate reduction, which keeps the
+shrinker correct for *any* failure mode (oracle mismatch, invariant
+violation, crash) at the cost of one verification run per attempt;
+fine at fuzz sizes.  Accepted reductions increment the
+``verify.shrink_steps`` counter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+
+_log = get_logger("repro.verify")
+
+#: Predicate deciding whether a candidate still exhibits the failure.
+FailingPredicate = Callable[[Circuit], bool]
+
+
+def _resolve(net: str, substitution: Dict[str, str]) -> str:
+    """Follow gate-bypass substitutions to the surviving source net.
+
+    Substitutions always map a gate's output net to one of its input
+    nets, which is strictly upstream in the DAG, so chains terminate.
+    """
+    while net in substitution:
+        net = substitution[net]
+    return net
+
+
+def _rebuild(
+    circuit: Circuit,
+    outputs: Sequence[str],
+    bypassed: Dict[str, str],
+) -> Optional[Circuit]:
+    """A copy of ``circuit`` restricted to ``outputs`` with the given
+    gates bypassed (instance name -> replacement input net), dead logic
+    removed.  Returns None when the reduction degenerates (an output
+    collapses onto a primary input, or no input remains live)."""
+    substitution = {
+        circuit.instances[g].output_net: net for g, net in bypassed.items()
+    }
+    resolved = []
+    for out in outputs:
+        target = _resolve(out, substitution)
+        if target not in resolved:
+            resolved.append(target)
+    if any(circuit.nets[net].driver is None for net in resolved):
+        return None  # output collapsed onto a primary input
+    live_nets = set()
+    live_gates = set()
+    stack = list(resolved)
+    while stack:
+        net = stack.pop()
+        if net in live_nets:
+            continue
+        live_nets.add(net)
+        driver = circuit.nets[net].driver
+        if driver is None:
+            continue
+        live_gates.add(driver.name)
+        for pin_net in driver.pins.values():
+            stack.append(_resolve(pin_net, substitution))
+    new = Circuit(circuit.name, library=circuit.library)
+    kept_inputs = [n for n in circuit.inputs if n in live_nets]
+    if not kept_inputs:
+        return None
+    for name in kept_inputs:
+        new.add_input(name)
+    for inst in circuit.topological():
+        if inst.name not in live_gates:
+            continue
+        new.add_gate(
+            inst.cell,
+            inst.output_net,
+            {p: _resolve(n, substitution) for p, n in inst.pins.items()},
+            name=inst.name,
+        )
+    for net in resolved:
+        new.add_output(net)
+    new.check()
+    return new
+
+
+def _cone_sizes(circuit: Circuit) -> Dict[str, int]:
+    """Output net -> number of gates in its transitive fanin."""
+    sizes: Dict[str, int] = {}
+    for out in circuit.outputs:
+        seen = set()
+        gates = 0
+        stack = [out]
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            driver = circuit.nets[net].driver
+            if driver is None:
+                continue
+            gates += 1
+            stack.extend(driver.pins.values())
+        sizes[out] = gates
+    return sizes
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    failing: FailingPredicate,
+    max_attempts: int = 2000,
+) -> Tuple[Circuit, int]:
+    """Minimize ``circuit`` while ``failing`` stays true.
+
+    Returns ``(shrunk, accepted_steps)``.  ``failing(circuit)`` must be
+    true on entry (raises ValueError otherwise); it is then re-evaluated
+    on every candidate, so a flaky predicate yields a larger -- never an
+    invalid -- counterexample.  ``max_attempts`` bounds total predicate
+    evaluations as a runaway stop, not a tuning knob.
+    """
+    if not failing(circuit):
+        raise ValueError(
+            f"shrink_circuit: {circuit.name} does not fail the predicate"
+        )
+    counter = obs_metrics.REGISTRY.counter("verify.shrink_steps")
+    current = circuit
+    steps = 0
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        # Cone extraction: smallest single-output cone that still fails.
+        if len(current.outputs) > 1:
+            sizes = _cone_sizes(current)
+            for out in sorted(current.outputs, key=lambda o: sizes[o]):
+                attempts += 1
+                candidate = _rebuild(current, [out], {})
+                if candidate is not None and failing(candidate):
+                    current = candidate
+                    steps += 1
+                    counter.inc()
+                    progress = True
+                    break
+        # Gate bypass: drop one gate, restart the scan on success (the
+        # instance set changed under us).
+        bypassed_one = True
+        while bypassed_one and attempts < max_attempts:
+            bypassed_one = False
+            for inst in current.topological():
+                for pin in inst.cell.inputs:
+                    attempts += 1
+                    candidate = _rebuild(
+                        current, current.outputs, {inst.name: inst.pins[pin]}
+                    )
+                    if candidate is not None and failing(candidate):
+                        current = candidate
+                        steps += 1
+                        counter.inc()
+                        progress = True
+                        bypassed_one = True
+                        break
+                    if attempts >= max_attempts:
+                        break
+                if bypassed_one or attempts >= max_attempts:
+                    break
+    if steps:
+        _log.info(
+            "shrink.done", circuit=circuit.name, steps=steps,
+            gates_before=circuit.num_gates, gates_after=current.num_gates,
+            inputs_before=len(circuit.inputs), inputs_after=len(current.inputs),
+        )
+    return current, steps

@@ -3,15 +3,80 @@
 Characterized libraries are expensive (minutes cold), so they are
 session-scoped and disk-cached (``~/.cache/repro-charlib`` or
 ``$REPRO_CHAR_CACHE``); the first full test run pays the cost once.
+
+Every test runs with ``random`` and ``numpy.random`` seeded from a
+per-test value derived from one base seed, so property/fuzz tests are
+reproducible: the base seed prints in the pytest header, a failing
+test's own seed prints in its report, and ``REPRO_TEST_SEED=<base>``
+replays the exact run.
 """
 
 from __future__ import annotations
+
+import hashlib
+import os
+import random
 
 import pytest
 
 from repro.charlib.characterize import FAST_GRID, characterize_library
 from repro.gates.library import default_library
 from repro.tech.presets import TECHNOLOGIES
+
+
+def _derive_seed(base: int, nodeid: str) -> int:
+    """Stable per-test seed: independent tests get independent streams,
+    and one test's seed does not depend on which other tests ran."""
+    digest = hashlib.blake2b(
+        f"{base}:{nodeid}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def pytest_configure(config):
+    env = os.environ.get("REPRO_TEST_SEED")
+    config._repro_base_seed = (
+        int(env) if env else int.from_bytes(os.urandom(4), "big")
+    )
+
+
+def pytest_report_header(config):
+    return (
+        f"repro seed: {config._repro_base_seed} "
+        f"(rerun with REPRO_TEST_SEED={config._repro_base_seed})"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _seed_rngs(request):
+    """Seed the global RNGs per test from the session base seed."""
+    seed = _derive_seed(
+        request.config._repro_base_seed, request.node.nodeid
+    )
+    request.node._repro_seed = seed
+    random.seed(seed)
+    try:
+        import numpy
+    except ImportError:
+        pass
+    else:
+        numpy.random.seed(seed % (1 << 32))
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seed = getattr(item, "_repro_seed", None)
+        if seed is not None:
+            base = item.config._repro_base_seed
+            report.sections.append((
+                "repro random seed",
+                f"per-test seed {seed}; reproduce the whole run with "
+                f"REPRO_TEST_SEED={base}",
+            ))
 
 
 @pytest.fixture(scope="session")

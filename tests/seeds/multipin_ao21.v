@@ -1,0 +1,10 @@
+// Shrunk fuzz counterexample (run_fuzz seed=3, index=25, gate_range 20-60).
+// Techmap tied I0 to the A and C pins of an AO21 (Z = A*B + C), so a
+// toggle on I0 is multi-pin switching: dynamically the output follows,
+// but no single pin is statically sensitized with its side inputs held.
+// Exercises the oracle's same-net multi-pin cleanliness exclusion.
+module multipin_ao21 (I0, I4, n46);
+  input I0, I4;
+  output n46;
+  AO21 U49 (.A(I0), .B(I4), .C(I0), .Z(n46));
+endmodule

@@ -1,0 +1,10 @@
+// Shrunk fuzz counterexample (run_fuzz seed=3, index=41, gate_range 20-60).
+// Inverting variant of the AO21 case: I2 drives the A and C pins of an
+// AOI21 (Z = !(A*B + C)).  Same multi-pin-switching corner, opposite
+// output polarity, so both inverting and non-inverting complex cells
+// stay covered.
+module multipin_aoi21 (I2, I4, n33);
+  input I2, I4;
+  output n33;
+  AOI21 U34 (.A(I2), .B(I4), .C(I2), .Z(n33));
+endmodule

@@ -1,0 +1,12 @@
+// Shrunk fuzz counterexample (run_fuzz seed=3, index=21, gate_range 20-60).
+// One net tied to both pins of a NAND2: toggling I1 switches A and B
+// simultaneously, which no single-input-switching static sensitization
+// covers.  The oracle originally hard-failed this ("cleanly sensitizable
+// but no true path") because its cleanliness proof ignored side pins
+// sharing the causing net; pinned so the corrected multi-pin check never
+// regresses.
+module multipin_nand2 (I1, n32);
+  input I1;
+  output n32;
+  NAND2 U27 (.A(I1), .B(I1), .Z(n32));
+endmodule

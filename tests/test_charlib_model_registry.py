@@ -1,0 +1,105 @@
+"""The MODEL_KINDS persistence registry (repro.charlib.model).
+
+Both fitting families must survive a JSON round trip through the
+registry dispatch, and unregistered kinds must fail loudly -- a silent
+fallback here would quietly re-time every path with the wrong model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.charlib.model import (
+    MODEL_KINDS,
+    DelayModel,
+    model_from_dict,
+    register_model_kind,
+)
+from repro.charlib.store import TimingArc
+
+#: Representative (fo, t_in, temp, vdd) probe points inside the
+#: characterization grid.
+PROBES = [
+    (1.0, 20e-12, 25.0, 1.2),
+    (3.0, 80e-12, 75.0, 1.1),
+    (2.0, 150e-12, 0.0, 1.3),
+]
+
+
+def _first_model(charlib):
+    return charlib.arcs()[0].delay_model
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert "polynomial" in MODEL_KINDS
+        assert "lut" in MODEL_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown model kind 'spice'"):
+            model_from_dict({"kind": "spice", "netlist": "..."})
+
+    def test_custom_kind_dispatches(self):
+        class Constant:
+            def __init__(self, value):
+                self.value = value
+
+            def evaluate(self, fo, t_in, temp, vdd):
+                return self.value
+
+            def evaluate_many(self, points):
+                return np.full(len(points), self.value)
+
+            def to_dict(self):
+                return {"kind": "constant", "value": self.value}
+
+        register_model_kind("constant", lambda d: Constant(d["value"]))
+        try:
+            model = model_from_dict({"kind": "constant", "value": 7e-12})
+            assert isinstance(model, DelayModel)  # protocol check
+            assert model.evaluate(*PROBES[0]) == 7e-12
+        finally:
+            MODEL_KINDS.pop("constant")
+        with pytest.raises(ValueError, match="unknown model kind"):
+            model_from_dict({"kind": "constant", "value": 1.0})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fixture_name,kind", [
+        ("charlib_poly_90", "polynomial"),
+        ("charlib_lut_90", "lut"),
+    ])
+    def test_kind_survives_json(self, request, fixture_name, kind):
+        model = _first_model(request.getfixturevalue(fixture_name))
+        data = json.loads(json.dumps(model.to_dict()))
+        assert data["kind"] == kind
+        rebuilt = model_from_dict(data)
+        assert type(rebuilt) is type(model)
+        for probe in PROBES:
+            assert rebuilt.evaluate(*probe) == pytest.approx(
+                model.evaluate(*probe), rel=1e-12, abs=1e-18
+            )
+
+    @pytest.mark.parametrize("fixture_name", [
+        "charlib_poly_90", "charlib_lut_90",
+    ])
+    def test_evaluate_many_matches_after_round_trip(self, request,
+                                                    fixture_name):
+        model = _first_model(request.getfixturevalue(fixture_name))
+        rebuilt = model_from_dict(model.to_dict())
+        points = np.array(PROBES, dtype=float)
+        np.testing.assert_allclose(
+            rebuilt.evaluate_many(points), model.evaluate_many(points),
+            rtol=1e-12,
+        )
+
+    def test_timing_arc_round_trip_preserves_models(self, charlib_lut_90):
+        arc = charlib_lut_90.arcs()[0]
+        rebuilt = TimingArc.from_dict(json.loads(json.dumps(arc.to_dict())))
+        assert rebuilt.key == arc.key
+        for probe in PROBES:
+            assert rebuilt.delay(*probe) == pytest.approx(arc.delay(*probe))
+            assert rebuilt.slew(*probe) == pytest.approx(arc.slew(*probe))

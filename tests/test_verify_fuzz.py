@@ -1,0 +1,125 @@
+"""The fuzz driver and counterexample shrinker (repro.verify.fuzz/shrink)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.verilog import write_verilog
+from repro.verify import load_seed, run_fuzz, shrink_circuit
+from repro.verify.fuzz import check_circuit, generate_case
+
+
+class TestGenerateCase:
+    def test_deterministic(self):
+        a = generate_case(seed=0, index=3)
+        b = generate_case(seed=0, index=3)
+        assert write_verilog(a) == write_verilog(b)
+
+    def test_index_varies_circuit(self):
+        a = generate_case(seed=0, index=0)
+        b = generate_case(seed=0, index=1)
+        assert write_verilog(a) != write_verilog(b)
+
+    def test_sizes_in_range(self):
+        for index in range(5):
+            circuit = generate_case(seed=1, index=index)
+            assert 4 <= len(circuit.inputs) <= 8
+
+
+class TestCheckCircuit:
+    def test_passes_on_generated(self, charlib_poly_90):
+        assert check_circuit(generate_case(0, 0), charlib_poly_90) is None
+
+    def test_crash_is_a_finding(self, charlib_small_90, library):
+        """A circuit whose cells the library never characterized must
+        surface as a crash finding, not kill the fuzz batch."""
+        c = Circuit("uncharacterized", library)
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("c")
+        c.add_gate("NAND3", "out", {"A": "a", "B": "b", "C": "c"})
+        c.add_output("out")
+        c.check()
+        failure = check_circuit(c, charlib_small_90)
+        assert failure is not None
+        assert failure[0] == "crash"
+
+
+class TestRunFuzz:
+    def test_small_batch_passes(self, charlib_poly_90, clean_obs):
+        report = run_fuzz(charlib_poly_90, n=3, seed=0)
+        assert report.ok, [f.describe() for f in report.failures]
+        assert report.checked == 3
+        assert "OK" in report.summary()
+        # oracle + metamorphic each count every circuit.
+        assert clean_obs.snapshot()["verify.circuits_checked"] == 6
+
+    def test_failures_are_shrunk(self, charlib_poly_90, monkeypatch):
+        """Force a failure on gate-rich circuits and verify the report
+        carries a shrunk counterexample plus serialized Verilog."""
+        from repro.verify import fuzz as fuzz_mod
+
+        def fake_check(circuit, charlib, **kwargs):
+            if circuit.num_gates >= 3:
+                return ("oracle", "forced for the shrinker test")
+            return None
+
+        monkeypatch.setattr(fuzz_mod, "check_circuit", fake_check)
+        report = run_fuzz(charlib_poly_90, n=1, seed=0)
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.kind == "oracle"
+        assert failure.shrunk_gates < failure.original_gates
+        assert failure.shrink_steps > 0
+        assert "module" in failure.verilog
+
+
+class TestShrink:
+    def _wide(self, library):
+        """Two independent cones; only the 'keep' cone matters."""
+        c = Circuit("wide", library)
+        for name in ("a", "b", "p", "q"):
+            c.add_input(name)
+        c.add_gate("NAND2", "k1", {"A": "a", "B": "b"}, name="KEEP")
+        c.add_gate("INV", "keep_out", {"A": "k1"})
+        c.add_gate("AND2", "j1", {"A": "p", "B": "q"})
+        c.add_gate("OR2", "junk_out", {"A": "j1", "B": "p"})
+        c.add_output("keep_out")
+        c.add_output("junk_out")
+        c.check()
+        return c
+
+    def test_drops_unrelated_cone(self, library, clean_obs):
+        circuit = self._wide(library)
+        shrunk, steps = shrink_circuit(
+            circuit, lambda c: "KEEP" in c.instances
+        )
+        assert "KEEP" in shrunk.instances
+        assert shrunk.num_gates < circuit.num_gates
+        assert steps > 0
+        assert "p" not in shrunk.inputs  # junk cone inputs removed
+        shrunk.check()
+        assert clean_obs.snapshot()["verify.shrink_steps"] == steps
+
+    def test_result_is_minimal_for_predicate(self, library):
+        circuit = self._wide(library)
+        shrunk, _steps = shrink_circuit(
+            circuit, lambda c: "KEEP" in c.instances
+        )
+        # Nothing left to remove: KEEP alone (bypassing it would lose
+        # the predicate; its output feeds the only remaining PO chain).
+        assert shrunk.num_gates <= 2
+
+    def test_requires_failing_input(self, library):
+        circuit = self._wide(library)
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_circuit(circuit, lambda c: False)
+
+    def test_shrunk_verilog_round_trips(self, library):
+        circuit = self._wide(library)
+        shrunk, _ = shrink_circuit(circuit, lambda c: "KEEP" in c.instances)
+        replayed = load_seed(write_verilog(shrunk))
+        assert set(replayed.instances) == set(shrunk.instances)
+        assert replayed.inputs == shrunk.inputs
+        assert replayed.outputs == shrunk.outputs

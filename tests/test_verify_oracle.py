@@ -1,0 +1,136 @@
+"""The exhaustive differential oracle (repro.verify.oracle)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.generate import c17, random_dag
+from repro.netlist.techmap import techmap
+from repro.netlist.timingsim import TimingSimulator
+from repro.verify import run_oracle
+from repro.verify.oracle import clean_course
+
+
+def _chain(library):
+    """a,b -> NAND2 -> INV -> out, plus a side input kept silent."""
+    c = Circuit("chain", library)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("NAND2", "m", {"A": "a", "B": "b"})
+    c.add_gate("INV", "out", {"A": "m"})
+    c.add_output("out")
+    c.check()
+    return c
+
+
+class TestRunOracle:
+    def test_c17_certifies(self, charlib_poly_90, clean_obs):
+        report = run_oracle(c17(), charlib_poly_90)
+        assert report.ok, [m.describe() for m in report.mismatches]
+        assert report.inputs == 5
+        assert report.transitions == 5 * 2**5
+        assert report.paths > 0
+        # Both c17 outputs are reachable, settle dynamically, and their
+        # worst clean course was cross-checked against the pathfinder.
+        assert set(report.truths) == {"G22", "G23"}
+        assert report.courses_checked > 0
+        assert "OK" in report.summary()
+        snapshot = clean_obs.snapshot()
+        assert snapshot["verify.circuits_checked"] == 1
+        assert snapshot["verify.mismatches"] == 0
+
+    def test_mapped_random_dag(self, charlib_poly_90):
+        circuit = techmap(random_dag("orc", 6, 25, seed=11))
+        report = run_oracle(circuit, charlib_poly_90)
+        assert report.ok, [m.describe() for m in report.mismatches]
+
+    def test_truth_fields_consistent(self, charlib_poly_90):
+        report = run_oracle(c17(), charlib_poly_90)
+        for truth in report.truths.values():
+            assert truth.delay > 0
+            assert truth.origin in c17().inputs
+            assert truth.sensitizing_transitions > 0
+            if truth.clean_delay is not None:
+                assert truth.clean_delay <= truth.delay
+                assert truth.course is not None
+                assert truth.course[-1] == truth.endpoint
+
+    def test_input_limit_enforced(self, charlib_poly_90):
+        with pytest.raises(ValueError, match="exceeds the oracle sweep"):
+            run_oracle(c17(), charlib_poly_90, max_inputs=3)
+
+    def test_finder_worst_matches_truth_delay(self, charlib_poly_90):
+        """On c17 the pathfinder worst arrival per endpoint must agree
+        with the exhaustive worst clean settle time within tolerance."""
+        report = run_oracle(c17(), charlib_poly_90)
+        for endpoint, truth in report.truths.items():
+            if truth.clean_delay is None:
+                continue
+            path = report.finder_worst[endpoint]
+            assert path.worst_arrival == pytest.approx(
+                truth.clean_delay, rel=0.15
+            )
+
+
+class TestCleanCourse:
+    def test_clean_chain(self, charlib_small_90, library):
+        circuit = _chain(library)
+        sim = TimingSimulator(circuit, charlib_small_90)
+        result = sim.simulate_transition({"a": 0, "b": 1}, "a", rising=True)
+        assert clean_course(circuit, result, "out") == ("a", "m", "out")
+
+    def test_side_input_event_disqualifies(self, charlib_small_90, library):
+        """Both NAND2 pins switching means neither hop is a clean
+        single-pin traversal."""
+        c = Circuit("recon", library)
+        c.add_input("a")
+        c.add_gate("INV", "an", {"A": "a"})
+        c.add_gate("NAND2", "out", {"A": "a", "B": "an"})
+        c.add_output("out")
+        c.check()
+        sim = TimingSimulator(c, charlib_small_90)
+        result = sim.simulate_transition({"a": 0}, "a", rising=True)
+        assert clean_course(c, result, "out") is None
+
+    def test_multipin_same_net_disqualifies(self, charlib_small_90, library):
+        """One net tied to both pins of a gate is multi-pin switching,
+        not static sensitization (the pinned fuzz counterexample)."""
+        c = Circuit("multipin", library)
+        c.add_input("x")
+        c.add_gate("NAND2", "out", {"A": "x", "B": "x"})
+        c.add_output("out")
+        c.check()
+        sim = TimingSimulator(c, charlib_small_90)
+        result = sim.simulate_transition({"x": 0}, "x", rising=True)
+        # The output genuinely toggles...
+        assert result.toggled("out")
+        # ...but no clean single-pin course exists.
+        assert clean_course(c, result, "out") is None
+
+    def test_untoggled_endpoint(self, charlib_small_90, library):
+        circuit = _chain(library)
+        sim = TimingSimulator(circuit, charlib_small_90)
+        # b=0 blocks the NAND: output stays at 1.
+        result = sim.simulate_transition({"a": 0, "b": 0}, "a", rising=True)
+        assert clean_course(circuit, result, "out") is None
+
+
+class TestCausalChain:
+    def test_chain_runs_stimulus_to_endpoint(self, charlib_small_90, library):
+        circuit = _chain(library)
+        sim = TimingSimulator(circuit, charlib_small_90)
+        result = sim.simulate_transition({"a": 0, "b": 1}, "a", rising=True)
+        chain = result.causal_chain("out")
+        assert [net for net, _ in chain] == ["a", "m", "out"]
+        assert chain[0][1].cause is None  # stimulus event
+        times = [event.time for _, event in chain]
+        assert times == sorted(times)
+
+    def test_empty_for_silent_net(self, charlib_small_90, library):
+        circuit = _chain(library)
+        sim = TimingSimulator(circuit, charlib_small_90)
+        result = sim.simulate_transition({"a": 0, "b": 0}, "a", rising=True)
+        assert result.causal_chain("out") == []
