@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -35,6 +36,12 @@ from repro.netlist.bench import parse_bench
 from repro.netlist.circuit import Circuit
 from repro.netlist.techmap import techmap
 from repro.netlist.verilog import parse_verilog
+from repro.resilience.errors import (
+    EXIT_INTERRUPTED,
+    ResilienceError,
+    SearchInterrupted,
+    classify,
+)
 from repro.tech.presets import TECHNOLOGIES
 
 _log = obs.get_logger("repro.cli")
@@ -121,6 +128,30 @@ def _finish_obs(args) -> int:
     return 0
 
 
+def _budgets_from_args(args):
+    """A :class:`SearchBudgets` from the ``--*-budget`` flags, or None
+    when no axis is capped."""
+    from repro.resilience.budgets import SearchBudgets
+
+    budgets = SearchBudgets(
+        wall_seconds=args.wall_budget,
+        max_extensions=args.extension_budget,
+        max_backtracks=args.backtrack_budget,
+    )
+    return budgets if budgets.bounded() else None
+
+
+def _wants_supervision(args, budgets) -> bool:
+    """Whether any resilience feature was requested -- the plain serial
+    search stays on its historical in-process path otherwise."""
+    return (budgets is not None
+            or args.jobs > 1
+            or args.checkpoint is not None
+            or args.resume is not None
+            or args.shard_timeout is not None
+            or args.missing_arc_policy != "error")
+
+
 def _analyze(args) -> int:
     _setup_obs(args)
     circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
@@ -130,16 +161,40 @@ def _analyze(args) -> int:
         charlib = cached_charlib(library, tech)
         from repro.core.sta import TruePathSTA
 
-        sta = TruePathSTA(circuit, charlib)
-        if args.n_worst is not None:
+        sta = TruePathSTA(circuit, charlib,
+                          missing_arc_policy=args.missing_arc_policy)
+        budgets = _budgets_from_args(args)
+        if _wants_supervision(args, budgets):
+            analysis = sta.analyze(
+                jobs=args.jobs,
+                budgets=budgets,
+                max_paths=args.max_paths,
+                n_worst=args.n_worst,
+                shard_timeout=args.shard_timeout,
+                shard_retries=args.shard_retries,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+            paths = analysis.paths
+            if args.n_worst is not None:
+                paths = sorted(paths, key=lambda p: p.worst_arrival,
+                               reverse=True)[:args.n_worst]
+            print(sta.report(paths, limit=args.top))
+            if analysis.degraded:
+                print()
+                print(analysis.describe_completeness())
+                print("(GBA bound = sound upper limit on any arrival "
+                      "the budgeted search did not reach)")
+        elif args.n_worst is not None:
             paths = sta.n_worst_paths(
                 args.n_worst, max_paths=args.max_paths, jobs=args.jobs
             )
+            print(sta.report(paths, limit=args.top))
         else:
             paths = sta.enumerate_paths(
                 max_paths=args.max_paths, jobs=args.jobs
             )
-        print(sta.report(paths, limit=args.top))
+            print(sta.report(paths, limit=args.top))
     elif args.tool == "gba":
         charlib = cached_charlib(library, tech)
         from repro.core.graphsta import GraphSTA, gba_pessimism
@@ -220,6 +275,19 @@ def _verify(args) -> int:
                     print(f"  {result.describe()}")
                 failed = failed or any(not r.ok for r in results)
 
+    if args.faults:
+        from repro.verify import run_faults
+
+        specs = args.circuit or ["iscas:c432@0.1"]
+        for spec in specs:
+            circuit = load_circuit(spec)
+            report = run_faults(
+                circuit, charlib, seed=args.seed,
+                jobs=max(args.jobs, 2), max_paths=args.max_paths,
+            )
+            print(report.describe())
+            failed = failed or not report.ok
+
     if args.fuzz is not None:
         from repro.verify import run_fuzz
 
@@ -279,6 +347,40 @@ def main(argv: Optional[list] = None) -> int:
     analyze.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="shard the developed tool's search across "
                               "primary inputs in N worker processes")
+    analyze.add_argument("--missing-arc-policy", default="error",
+                         choices=["error", "warn-substitute"],
+                         help="on a library gap: abort (error) or fall "
+                              "back to the nearest characterized arc of "
+                              "the same cell (warn-substitute)")
+    analyze.add_argument("--wall-budget", type=float, default=None,
+                         metavar="SECONDS",
+                         help="anytime mode: stop searching after this "
+                              "much wall-clock time and report partial "
+                              "paths with per-origin completeness + GBA "
+                              "bounds")
+    analyze.add_argument("--extension-budget", type=int, default=None,
+                         metavar="N",
+                         help="anytime mode: cap search extensions")
+    analyze.add_argument("--backtrack-budget", type=int, default=None,
+                         metavar="N",
+                         help="anytime mode: cap justification backtracks")
+    analyze.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="stream completed origins to this JSON "
+                              "snapshot (atomic writes; survives crashes "
+                              "and Ctrl-C)")
+    analyze.add_argument("--resume", default=None, metavar="PATH",
+                         help="adopt completed origins from a checkpoint "
+                              "written by an identical configuration")
+    analyze.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock deadline per parallel shard "
+                              "attempt (hung workers are terminated and "
+                              "the shard retried)")
+    analyze.add_argument("--shard-retries", type=int, default=2,
+                         metavar="N",
+                         help="retry attempts per failed shard before "
+                              "the in-process serial fallback "
+                              "(default 2)")
     analyze.add_argument("--log-level", default=None,
                          choices=["debug", "info", "warning", "error"],
                          help="enable structured logging at this level")
@@ -305,6 +407,15 @@ def main(argv: Optional[list] = None) -> int:
     verify.add_argument("--fuzz", type=int, default=None, metavar="N",
                         help="fuzz N random mapped circuits, shrinking "
                              "any failure to a minimal counterexample")
+    verify.add_argument("--faults", action="store_true",
+                        help="inject deterministic faults (worker crash, "
+                             "shard hang, corrupted charlib, mid-run "
+                             "interrupt) into each --circuit and assert "
+                             "every recovery reproduces the fault-free "
+                             "output (default circuit: iscas:c432@0.1)")
+    verify.add_argument("--max-paths", type=int, default=None, metavar="N",
+                        help="cap paths per fault-scenario run (keeps "
+                             "--faults cheap on large circuits)")
     verify.add_argument("--circuit", action="append", default=None,
                         metavar="SPEC",
                         help="netlist file or iscas:<name>[@scale] spec "
@@ -334,7 +445,40 @@ def main(argv: Optional[list] = None) -> int:
     stats.set_defaults(func=_stats)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    debug = getattr(args, "log_level", None) == "debug"
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream pager/head closed our stdout: the Unix convention
+        # is a quiet death, not an error report (which could not be
+        # written anyway).  128 + SIGPIPE, like the shell reports it.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
+    except SearchInterrupted as exc:
+        # Completed shards were merged and (if --checkpoint) snapshotted
+        # before the unwind; say so instead of printing a stack.
+        if debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except ResilienceError as exc:
+        if debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except Exception as exc:
+        # Foreign exceptions (bad paths, parse errors...) map into the
+        # taxonomy for a one-line message and a distinct exit status;
+        # --log-level debug keeps the full traceback.
+        if debug:
+            raise
+        err = classify(exc, context=args.command)
+        print(f"error: {err}", file=sys.stderr)
+        return err.exit_code
 
 
 if __name__ == "__main__":

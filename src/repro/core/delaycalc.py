@@ -29,11 +29,20 @@ from repro.core.engine import EngineCircuit, EngineGate
 from repro.core.tgraph import PruneBounds
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+from repro.resilience.errors import MissingArcFailure
 
 _log = get_logger("repro.delaycalc")
 
 #: Default input transition time applied at primary inputs (seconds).
 DEFAULT_INPUT_SLEW = 40e-12
+
+#: Recognized missing-arc policies: ``error`` raises
+#: :class:`MissingArcsError` the moment a traversal needs an arc the
+#: library cannot resolve; ``warn-substitute`` falls back to the
+#: nearest characterized arc of the same cell (see
+#: :meth:`DelayCalculator._substitute_arc`), logs once per arc, and
+#: counts the substitution in ``delaycalc.arc_substitutions``.
+MISSING_ARC_POLICIES = ("error", "warn-substitute")
 
 #: Evaluation points per sweep when maximizing a fitted model over the
 #: bounding slew domain.  The fitted surfaces are low-order in t_in, so
@@ -45,8 +54,13 @@ BOUND_SLEW_SAMPLES = 17
 _SLEW_CEILING_ROUNDS = 6
 
 
-class MissingArcsError(LookupError):
-    """No timing arc of a gate resolves in the characterized library."""
+class MissingArcsError(MissingArcFailure, LookupError):
+    """A timing arc the analysis needs does not resolve in the
+    characterized library (and the active policy forbids substitution).
+
+    Subclasses both the resilience taxonomy (for CLI exit-code mapping)
+    and :class:`LookupError` (the historical base, kept for callers
+    that catch it as such)."""
 
 
 def _model_max(model: DelayModel, fo: float, slews: Tuple[float, ...],
@@ -73,7 +87,13 @@ class DelayCalculator:
         vector_blind: bool = False,
         wire: Optional[WireLoadModel] = None,
         arc_cache: bool = True,
+        missing_arc_policy: str = "error",
     ):
+        if missing_arc_policy not in MISSING_ARC_POLICIES:
+            raise ValueError(
+                f"unknown missing-arc policy {missing_arc_policy!r}; "
+                f"expected one of {MISSING_ARC_POLICIES}"
+            )
         self.ec = ec
         self.charlib = charlib
         self.temp = temp
@@ -81,6 +101,7 @@ class DelayCalculator:
         self.input_slew = input_slew
         self.vector_blind = vector_blind
         self.wire = wire
+        self.missing_arc_policy = missing_arc_policy
         #: Model evaluations served (plain attribute -- the search loop
         #: is too hot for registry traffic; callers publish the delta
         #: to ``delaycalc.arc_evaluations`` at the end of a run).
@@ -90,6 +111,10 @@ class DelayCalculator:
         #: ``delaycalc.arc_cache_hits`` / ``..._misses`` deltas).
         self.arc_cache_hits: int = 0
         self.arc_cache_misses: int = 0
+        #: Traversals served by a nearest-arc fallback under the
+        #: ``warn-substitute`` policy (published as
+        #: ``delaycalc.arc_substitutions`` deltas).
+        self.arc_substitutions: int = 0
         #: Pre-resolved equivalent fanout per gate index.
         self.fo: List[float] = []
         circuit = ec.circuit
@@ -111,6 +136,10 @@ class DelayCalculator:
         self._required_bounds: Optional[List[float]] = None
         self._prune_bounds: Optional[PruneBounds] = None
         self._warned_cells: Set[str] = set()
+        #: Requested-arc key -> substituted arc (warn-substitute policy).
+        self._substitute_cache: Dict[
+            Tuple[str, str, str, bool, bool], TimingArc
+        ] = {}
 
     def _nominal_vdd(self) -> float:
         from repro.tech.presets import TECHNOLOGIES
@@ -138,7 +167,7 @@ class DelayCalculator:
         self.arc_evaluations += 1
         cache = self._arc_cache
         if cache is None:
-            arc = self.charlib.arc(
+            arc = self._lookup_arc(
                 gate.cell.name, pin, lookup_id, input_rising, output_rising
             )
         else:
@@ -146,7 +175,7 @@ class DelayCalculator:
             arc = cache.get(key)
             if arc is None:
                 self.arc_cache_misses += 1
-                arc = self.charlib.arc(
+                arc = self._lookup_arc(
                     gate.cell.name, pin, lookup_id, input_rising, output_rising
                 )
                 cache[key] = arc
@@ -158,6 +187,81 @@ class DelayCalculator:
         return delay, slew
 
     # ------------------------------------------------------------------
+    def _lookup_arc(
+        self, cell: str, pin: str, vector_id: str, input_rising: bool,
+        output_rising: bool,
+    ) -> TimingArc:
+        """Library arc lookup routed through the missing-arc policy."""
+        try:
+            return self.charlib.arc(
+                cell, pin, vector_id, input_rising, output_rising
+            )
+        except KeyError:
+            if self.missing_arc_policy != "warn-substitute":
+                raise MissingArcsError(
+                    f"no timing arc for cell {cell!r} pin {pin!r} vector "
+                    f"{vector_id!r} ({'r' if input_rising else 'f'}->"
+                    f"{'R' if output_rising else 'F'}) in library "
+                    f"{self.charlib.library_name!r} "
+                    "(missing-arc policy: error)"
+                ) from None
+            substitute = self._substitute_arc(
+                cell, pin, vector_id, input_rising, output_rising
+            )
+            if substitute is None:
+                raise MissingArcsError(
+                    f"cell {cell!r} has no characterized arc at all in "
+                    f"library {self.charlib.library_name!r}; nothing to "
+                    "substitute"
+                ) from None
+            return substitute
+
+    def _substitute_arc(
+        self, cell: str, pin: str, vector_id: str, input_rising: bool,
+        output_rising: bool,
+    ) -> Optional[TimingArc]:
+        """Nearest characterized arc of the same cell (warn-substitute
+        policy): prefer the same pin, then the same input edge, then
+        the same output edge, tie-broken on the arc key so the choice
+        is deterministic across processes (serial and parallel runs
+        must substitute identically).  Returns None only when the cell
+        has no arcs at all.  Memoized per requested key; each distinct
+        substituted resolution logs one warning and bumps
+        ``arc_substitutions``.
+        """
+        key = (cell, pin, vector_id, input_rising, output_rising)
+        cached = self._substitute_cache.get(key)
+        if cached is not None:
+            return cached
+        best: Optional[TimingArc] = None
+        best_rank: Tuple[int, str] = (-1, "")
+        for arc in self.charlib.arcs():
+            if arc.cell != cell:
+                continue
+            score = (
+                (4 if arc.pin == pin else 0)
+                + (2 if arc.input_rising == input_rising else 0)
+                + (1 if arc.output_rising == output_rising else 0)
+            )
+            # Lexicographically smallest key wins among equals, so the
+            # substitution is independent of library iteration order.
+            if score > best_rank[0] or (
+                score == best_rank[0] and arc.key < best_rank[1]
+            ):
+                best, best_rank = arc, (score, arc.key)
+        if best is None:
+            return None
+        self._substitute_cache[key] = best
+        self.arc_substitutions += 1
+        _log.warning(
+            "delaycalc.arc_substituted", cell=cell, pin=pin,
+            vector=vector_id,
+            edge=f"{'r' if input_rising else 'f'}"
+                 f"{'R' if output_rising else 'F'}",
+            substitute=best.key,
+        )
+        return best
+
     def _resolve_pin(
         self, gate: EngineGate, pin: str
     ) -> Tuple[Tuple[TimingArc, ...], Tuple[str, ...]]:
@@ -182,6 +286,17 @@ class DelayCalculator:
                     missing.append(
                         f"{pin}|{vector_id}|{'r' if input_rising else 'f'}"
                     )
+                    if self.missing_arc_policy == "warn-substitute":
+                        # Register the fallback arc so the pruning and
+                        # GBA bounds cover what arc_timing will really
+                        # evaluate for this traversal.
+                        arc = self._substitute_arc(
+                            gate.cell.name, pin, vector_id, input_rising,
+                            input_rising ^ opt.inverting,
+                        )
+                        if arc is not None and arc.key not in seen:
+                            seen.add(arc.key)
+                            arcs.append(arc)
                     continue
                 if arc.key not in seen:
                     seen.add(arc.key)

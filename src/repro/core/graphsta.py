@@ -54,6 +54,7 @@ class GraphSTA:
         temp: float = 25.0,
         vdd: Optional[float] = None,
         input_slew: float = DEFAULT_INPUT_SLEW,
+        missing_arc_policy: str = "error",
     ):
         circuit.check()
         self.circuit = circuit
@@ -61,6 +62,7 @@ class GraphSTA:
         self.calc = DelayCalculator(
             self.ec, charlib, temp=temp, vdd=vdd, input_slew=input_slew,
             vector_blind=charlib.metadata.get("vector_mode") == "default",
+            missing_arc_policy=missing_arc_policy,
         )
 
     def run(self) -> GbaResult:

@@ -50,6 +50,12 @@ from repro.core.path import PathStep, PolarityTiming, TimedPath
 from repro.core.tgraph import PruneBounds
 from repro.obs import metrics as obs_metrics
 from repro.obs.tracing import span
+from repro.resilience.budgets import (
+    BudgetLedger,
+    CompletenessReport,
+    OriginOutcome,
+    SearchBudgets,
+)
 
 
 @dataclass
@@ -75,6 +81,9 @@ class SearchStats:
     #: Prunes only the backward required-time bound achieved -- the
     #: legacy context-free suffix sum would have kept the extension.
     bound_prunes: int = 0
+    #: Runs (or shards) whose search budget tripped before exhaustion;
+    #: the path list is partial and tagged with per-origin completeness.
+    budget_trips: int = 0
     cpu_seconds: float = 0.0
     _published: Dict[str, float] = field(default_factory=dict, repr=False)
 
@@ -153,7 +162,8 @@ class PathStream:
         self._started = time.perf_counter()
         calc = finder.calc
         self._counters_before = (
-            calc.arc_evaluations, calc.arc_cache_hits, calc.arc_cache_misses
+            calc.arc_evaluations, calc.arc_cache_hits, calc.arc_cache_misses,
+            calc.arc_substitutions,
         )
         self._published = False
 
@@ -233,6 +243,13 @@ class PathFinder:
         per-step justification re-solve when an extension adds no new
         unjustified requirement (on by default; the toggle exists for
         A/B effort measurements in the benchmarks).
+    budgets:
+        Optional :class:`~repro.resilience.budgets.SearchBudgets`
+        (wall-clock / extension / backtrack caps).  An exhausted budget
+        stops the search *cleanly*: recorded paths are kept, and
+        :attr:`completeness` tags every origin ``complete`` /
+        ``partial`` / ``skipped`` so callers can attach sound GBA
+        bounds to the unfinished ones (anytime degraded mode).
     """
 
     def __init__(
@@ -246,6 +263,7 @@ class PathFinder:
         complete: bool = False,
         justify_skip: bool = True,
         bounds: Optional[PruneBounds] = None,
+        budgets: Optional[SearchBudgets] = None,
     ):
         self.ec = ec
         self.calc = calc
@@ -255,6 +273,9 @@ class PathFinder:
         self.single_polarity = single_polarity
         self.complete = complete
         self.justify_skip = justify_skip
+        self.budgets = budgets
+        self.completeness = CompletenessReport()
+        self._ledger: Optional[BudgetLedger] = None
         self._origin: int = -1
         self.stats = SearchStats()
         self._bounds: Optional[PruneBounds] = None
@@ -290,7 +311,7 @@ class PathFinder:
         self.close()
 
     def _publish_run(
-        self, elapsed: float, counters_before: Tuple[int, int, int]
+        self, elapsed: float, counters_before: Tuple[int, int, int, int]
     ) -> None:
         self.stats.cpu_seconds += elapsed
         name = self.ec.circuit.name
@@ -304,6 +325,8 @@ class PathFinder:
              calc.arc_cache_hits - counters_before[1]),
             ("delaycalc.arc_cache_misses",
              calc.arc_cache_misses - counters_before[2]),
+            ("delaycalc.arc_substitutions",
+             calc.arc_substitutions - counters_before[3]),
         )
         for key, delta in deltas:
             # Register even a zero delta so the snapshot schema is stable.
@@ -313,15 +336,52 @@ class PathFinder:
     def _iter_paths(
         self, inputs: Optional[Sequence[str]]
     ) -> Iterator[TimedPath]:
-        origin_ids = (
+        origin_ids = list(
             self.ec.input_ids
             if inputs is None
             else [self.ec.net_id[name] for name in inputs]
         )
+        if self.budgets is not None and self.budgets.bounded():
+            self._ledger = BudgetLedger(self.budgets)
+        outcomes = self.completeness.origins
+        outcomes.clear()
+        names = self.ec.net_names
+        tripped = False
+        try:
+            for index, origin in enumerate(origin_ids):
+                name = names[origin]
+                if self._ledger is not None and self._ledger.exhausted:
+                    outcomes[name] = OriginOutcome(name, "skipped")
+                    continue
+                before = self.stats.paths_found
+                # Pre-registered as partial so an abandoned iteration
+                # (early close, SIGINT) still reports truthfully.
+                outcome = OriginOutcome(name, "partial")
+                outcomes[name] = outcome
+                yield from self._search_from(origin)
+                outcome.paths_found = self.stats.paths_found - before
+                if self._ledger is not None and self._ledger.exhausted:
+                    if not tripped:
+                        tripped = True
+                        self.stats.budget_trips += 1
+                elif not self._done():
+                    outcome.status = "complete"
+                if self._done():
+                    # The max_paths cap stopped this origin mid-search:
+                    # it stays partial, the rest were never visited.
+                    self._mark_unvisited(origin_ids[index + 1:])
+                    return
+        except GeneratorExit:
+            self._mark_unvisited(origin_ids)
+            raise
+
+    def _mark_unvisited(self, origin_ids: Sequence[int]) -> None:
+        """Tag origins never searched this run as ``skipped``."""
+        outcomes = self.completeness.origins
+        names = self.ec.net_names
         for origin in origin_ids:
-            yield from self._search_from(origin)
-            if self._done():
-                return
+            outcomes.setdefault(names[origin],
+                                OriginOutcome(names[origin], "skipped"))
 
     def _done(self) -> bool:
         return self.max_paths is not None and self.stats.paths_found >= self.max_paths
@@ -363,17 +423,22 @@ class PathFinder:
         ]
         self.stats.states_saved += 1
 
+        ledger = self._ledger
         while stack:
             frame = stack[-1]
             applied = None
             for gate, pin, option in frame.options:
                 state.rollback(frame.mark)
+                if ledger is not None and not ledger.charge_extension():
+                    return  # budget exhausted: keep recorded paths
                 self.stats.extensions_tried += 1
                 if self._prune(frame, gate, pin):
                     self.stats.pruned += 1
                     continue
                 with span("pathfinder.step"):
                     arc = self._apply(state, frame, gate, pin, option)
+                if ledger is not None and ledger.exhausted:
+                    return  # backtrack budget tripped inside the step
                 if arc is None:
                     self.stats.conflicts += 1
                     continue
@@ -503,6 +568,8 @@ class PathFinder:
                     result = justifier.justify()
                     self.stats.justification_backtracks += justifier.backtracks
                     self.stats.justification_cubes += justifier.cubes_tried
+                    if self._ledger is not None:
+                        self._ledger.charge_backtracks(justifier.backtracks)
                     if result is JustifyResult.ABORTED:
                         self.stats.justification_aborts += 1
                         return None
@@ -573,6 +640,8 @@ class PathFinder:
         result = justifier.justify()
         self.stats.justification_backtracks += justifier.backtracks
         self.stats.justification_cubes += justifier.cubes_tried
+        if self._ledger is not None:
+            self._ledger.charge_backtracks(justifier.backtracks)
         if result is JustifyResult.ABORTED:
             self.stats.justification_aborts += 1
             return None

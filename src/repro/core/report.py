@@ -11,7 +11,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.path import PolarityTiming, TimedPath
+from repro.core.path import PathStep, PolarityTiming, TimedPath
 
 
 def path_to_dict(path: TimedPath) -> Dict:
@@ -54,6 +54,47 @@ def path_to_dict(path: TimedPath) -> Dict:
 
 def paths_to_json(paths: Iterable[TimedPath], indent: Optional[int] = None) -> str:
     return json.dumps([path_to_dict(p) for p in paths], indent=indent)
+
+
+def path_from_dict(data: Dict) -> TimedPath:
+    """Inverse of :func:`path_to_dict` -- exact float round-trip, so a
+    checkpointed path list resumes bit-identical to the original run."""
+
+    def polarity(p: Optional[Dict]) -> Optional[PolarityTiming]:
+        if p is None:
+            return None
+        return PolarityTiming(
+            input_rising=p["input_rising"],
+            output_rising=p["output_rising"],
+            arrival=p["arrival"],
+            slew=p["slew"],
+            gate_delays=list(p["gate_delays"]),
+            gate_slews=list(p["gate_slews"]),
+            input_vector=dict(p["input_vector"]),
+        )
+
+    return TimedPath(
+        circuit_name=data["circuit"],
+        nets=tuple(data["nets"]),
+        steps=tuple(
+            PathStep(
+                gate_name=s["gate"],
+                cell_name=s["cell"],
+                pin=s["pin"],
+                vector_id=s["vector_id"],
+                case=s["case"],
+                fo=s["fo"],
+            )
+            for s in data["steps"]
+        ),
+        rise=polarity(data.get("rise")),
+        fall=polarity(data.get("fall")),
+        multi_vector=data.get("multi_vector", False),
+    )
+
+
+def paths_from_json(text: str) -> List[TimedPath]:
+    return [path_from_dict(d) for d in json.loads(text)]
 
 
 @dataclass

@@ -1,16 +1,21 @@
 """Hot-path performance layer for the single-pass search.
 
-Currently one public entry point: :func:`parallel_find_paths`, a
-process-pool driver that shards the search across primary inputs (each
-origin's search is independent -- the paper's natural partition) and
-merges the resulting :class:`~repro.core.path.TimedPath` streams and
-:class:`~repro.core.pathfinder.SearchStats` back into the calling
-process, including its metrics registry.  The serial hot-path pieces
-(arc-resolution memoization, justify-skip) live directly in
-:mod:`repro.core.delaycalc` and :mod:`repro.core.pathfinder`; see
-``docs/PERFORMANCE.md`` for how to measure them.
+Two public entry points: :func:`parallel_find_paths`, the historical
+``(paths, stats)`` process-pool driver that shards the search across
+primary inputs (each origin's search is independent -- the paper's
+natural partition) and merges the per-origin streams back into the
+calling process, including its metrics registry; and
+:func:`supervised_find_paths`, the same pipeline returning the full
+:class:`~repro.resilience.supervisor.SupervisedResult` (per-origin
+completeness, resume accounting).  Both run under the
+:mod:`repro.resilience.supervisor` -- worker crashes, shard timeouts
+and SIGINT degrade or retry instead of killing the run.  The serial
+hot-path pieces (arc-resolution memoization, justify-skip) live
+directly in :mod:`repro.core.delaycalc` and
+:mod:`repro.core.pathfinder`; see ``docs/PERFORMANCE.md`` for how to
+measure them and ``docs/ROBUSTNESS.md`` for the supervision knobs.
 """
 
-from repro.perf.parallel import parallel_find_paths
+from repro.perf.parallel import parallel_find_paths, supervised_find_paths
 
-__all__ = ["parallel_find_paths"]
+__all__ = ["parallel_find_paths", "supervised_find_paths"]

@@ -2,15 +2,15 @@
 
 The single-pass search visits one primary input at a time and never
 shares state between origins, so the natural partition is one shard per
-origin.  Each worker process builds the indexed circuit and delay
-calculator once (pool initializer), then serves origin shards; the
-parent concatenates the per-origin path lists *in origin declaration
-order* -- which makes the merged stream identical to the serial one --
-and folds the per-shard :class:`SearchStats` and ``delaycalc.*``
-counter deltas into its own metrics registry (worker registries are
-per-process and die with the pool; only the merged totals surface).
+origin.  Supervision (worker-crash retry, shard timeouts, serial
+fallback, checkpoint/resume, clean SIGINT unwinding) lives in
+:class:`repro.resilience.supervisor.ShardSupervisor`; this module is
+the thin public face that assembles the search configuration, ships the
+precomputed pruning bounds to the shards, and preserves the historical
+``(paths, merged_stats)`` return shape.
 
-Merge semantics under the search limits:
+Merge semantics under the search limits (unchanged from the plain
+driver):
 
 * ``max_paths``: each shard is capped at ``max_paths`` (a single origin
   can never contribute more), and the merged stream is truncated after
@@ -20,61 +20,39 @@ Merge semantics under the search limits:
   is a superset of the serial one that provably contains the true top-N
   set; callers keep the N worst of the merge exactly as they would keep
   the N worst of a serial run.
+
+On SIGINT the supervisor shuts the pool down cleanly (workers ignore
+SIGINT, so no child traceback storm), publishes the merged metrics of
+every completed shard, flushes the checkpoint if one is being written,
+and raises :class:`~repro.resilience.errors.SearchInterrupted` whose
+``partial`` attribute carries the merged partial result.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.charlib.fanout import WireLoadModel
 from repro.charlib.store import CharacterizedLibrary
 from repro.core.delaycalc import DEFAULT_INPUT_SLEW, DelayCalculator
 from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
-from repro.core.pathfinder import PathFinder, SearchStats
+from repro.core.pathfinder import SearchStats
 from repro.netlist.circuit import Circuit
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
+from repro.resilience.budgets import SearchBudgets
+from repro.resilience.supervisor import (
+    ShardSupervisor,
+    SupervisedResult,
+    SupervisorConfig,
+)
 
 _log = get_logger("repro.perf")
 
-#: Per-process search context: (indexed circuit, calculator, finder kwargs).
-_WORKER: Optional[Tuple[EngineCircuit, DelayCalculator, Dict]] = None
 
-#: One shard's results: paths, SearchStats.as_dict(), delaycalc deltas.
-_ShardResult = Tuple[List[TimedPath], Dict[str, float], Dict[str, int]]
-
-
-def _init_worker(circuit: Circuit, charlib: CharacterizedLibrary,
-                 calc_kwargs: Dict, finder_kwargs: Dict) -> None:
-    global _WORKER
-    ec = EngineCircuit(circuit)
-    calc = DelayCalculator(ec, charlib, **calc_kwargs)
-    _WORKER = (ec, calc, finder_kwargs)
-
-
-def _run_shard(ec: EngineCircuit, calc: DelayCalculator, finder_kwargs: Dict,
-               origins: Sequence[str]) -> _ShardResult:
-    before = (calc.arc_evaluations, calc.arc_cache_hits, calc.arc_cache_misses)
-    finder = PathFinder(ec, calc, **finder_kwargs)
-    with finder.find_paths(inputs=origins) as stream:
-        paths = list(stream)
-    deltas = {
-        "delaycalc.arc_evaluations": calc.arc_evaluations - before[0],
-        "delaycalc.arc_cache_hits": calc.arc_cache_hits - before[1],
-        "delaycalc.arc_cache_misses": calc.arc_cache_misses - before[2],
-    }
-    return paths, finder.stats.as_dict(), deltas
-
-
-def _search_shard(origins: Sequence[str]) -> _ShardResult:
-    ec, calc, finder_kwargs = _WORKER
-    return _run_shard(ec, calc, finder_kwargs, origins)
-
-
-def parallel_find_paths(
+def supervised_find_paths(
     circuit: Circuit,
     charlib: CharacterizedLibrary,
     jobs: int = 2,
@@ -89,31 +67,58 @@ def parallel_find_paths(
     justify_backtrack_limit: Optional[int] = None,
     single_polarity: Optional[int] = None,
     complete: bool = False,
-) -> Tuple[List[TimedPath], SearchStats]:
-    """Run the true-path search sharded across primary inputs.
+    budgets: Optional[SearchBudgets] = None,
+    missing_arc_policy: str = "error",
+    shard_timeout: Optional[float] = None,
+    shard_retries: int = 2,
+    retry_backoff: float = 0.05,
+    serial_fallback: bool = True,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
+    fault_plan: object = None,
+) -> SupervisedResult:
+    """Run the true-path search sharded across primary inputs, under
+    supervision, and return the full
+    :class:`~repro.resilience.supervisor.SupervisedResult` (paths,
+    merged stats, per-origin completeness, resume accounting).
 
-    Returns ``(paths, merged_stats)``; the merged stats and the
-    ``delaycalc.*`` counter totals are also published to this process's
-    metrics registry, exactly like a serial
+    The merged stats and the ``delaycalc.*`` counter totals are
+    published to this process's metrics registry, exactly like a serial
     :meth:`PathFinder.find_paths` run.  ``jobs=1`` runs the same
     shard/merge pipeline in-process (no pool), which is the reference
-    for the equivalence tests.
+    for the equivalence tests.  ``budgets`` apply *per shard*: each
+    origin's sub-search gets the full allowance, and exhausted shards
+    come back tagged ``partial`` in the completeness report.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     origins = list(inputs) if inputs is not None else list(circuit.inputs)
     calc_kwargs = dict(temp=temp, vdd=vdd, input_slew=input_slew,
-                       vector_blind=vector_blind, wire=wire)
+                       vector_blind=vector_blind, wire=wire,
+                       missing_arc_policy=missing_arc_policy)
     finder_kwargs = dict(
         max_paths=max_paths,
         n_worst=n_worst,
         justify_backtrack_limit=justify_backtrack_limit,
         single_polarity=single_polarity,
         complete=complete,
+        budgets=budgets,
     )
     jobs = min(jobs, max(len(origins), 1))
+    config = SupervisorConfig(
+        jobs=jobs,
+        shard_timeout=shard_timeout,
+        shard_retries=shard_retries,
+        retry_backoff=retry_backoff,
+        serial_fallback=serial_fallback,
+        checkpoint_path=checkpoint,
+        resume_path=resume,
+    )
+    supervisor = ShardSupervisor(
+        circuit, charlib, calc_kwargs, finder_kwargs, config,
+        fault_plan=fault_plan,
+    )
     with span("perf.parallel_find_paths"):
-        parent_ec = parent_calc = None
         if n_worst is not None:
             # The backward required-time bounds depend only on the
             # circuit and corner: compute them once here and ship the
@@ -121,52 +126,27 @@ def parallel_find_paths(
             # backward pass (and its model sweeps) once per worker.
             parent_ec = EngineCircuit(circuit)
             parent_calc = DelayCalculator(parent_ec, charlib, **calc_kwargs)
-            finder_kwargs["bounds"] = parent_calc.prune_bounds()
-        if jobs == 1:
-            ec = parent_ec if parent_ec is not None else EngineCircuit(circuit)
-            calc = (
-                parent_calc
-                if parent_calc is not None
-                else DelayCalculator(ec, charlib, **calc_kwargs)
-            )
-            shards = [
-                _run_shard(ec, calc, finder_kwargs, [name])
-                for name in origins
-            ]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_init_worker,
-                initargs=(circuit, charlib, calc_kwargs, finder_kwargs),
-            ) as pool:
-                futures = [
-                    pool.submit(_search_shard, [name]) for name in origins
-                ]
-                shards = [future.result() for future in futures]
+            supervisor.finder_kwargs["bounds"] = parent_calc.prune_bounds()
+            supervisor.attach_parent_context(parent_ec, parent_calc)
+        result = supervisor.run(origins)
 
-    paths: List[TimedPath] = []
-    merged = SearchStats()
-    totals: Dict[str, int] = {}
-    for shard_paths, stats_dict, deltas in shards:
-        if max_paths is None or len(paths) < max_paths:
-            paths.extend(shard_paths)
-        merged.merge(stats_dict)
-        for key, value in deltas.items():
-            totals[key] = totals.get(key, 0) + value
-    if max_paths is not None:
-        del paths[max_paths:]
-
-    name = circuit.name
-    merged.publish(name)
     registry = obs_metrics.REGISTRY
-    for key in ("delaycalc.arc_evaluations", "delaycalc.arc_cache_hits",
-                "delaycalc.arc_cache_misses"):
-        value = totals.get(key, 0)
-        registry.counter(key).inc(value)
-        registry.counter(key, circuit=name).inc(value)
     registry.counter("perf.parallel_runs").inc()
     registry.counter("perf.parallel_shards").inc(len(origins))
     registry.gauge("perf.parallel_jobs").set(jobs)
-    _log.debug("parallel.done", circuit=name, jobs=jobs,
-               shards=len(origins), paths=len(paths))
-    return paths, merged
+    _log.debug("parallel.done", circuit=circuit.name, jobs=jobs,
+               shards=len(origins), paths=len(result.paths),
+               degraded=result.degraded)
+    return result
+
+
+def parallel_find_paths(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    jobs: int = 2,
+    **kwargs,
+) -> Tuple[List[TimedPath], SearchStats]:
+    """Historical entry point: :func:`supervised_find_paths` narrowed to
+    the ``(paths, merged_stats)`` pair."""
+    result = supervised_find_paths(circuit, charlib, jobs=jobs, **kwargs)
+    return result.paths, result.stats

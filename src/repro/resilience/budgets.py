@@ -1,0 +1,171 @@
+"""Anytime-search budgets and per-origin completeness accounting.
+
+The exhaustive single-pass search has no intrinsic stopping point short
+of completion, which on large circuits means hours.  A
+:class:`SearchBudgets` caps the effort along three axes -- wall-clock
+seconds, extensions tried, justification backtracks -- and the search
+checks the ledger (:class:`BudgetLedger`) at each choice point.  When
+any axis is exhausted the search *returns* instead of dying: every
+path recorded so far is kept, and each origin is tagged with a
+:data:`completeness <ORIGIN_STATUSES>` status so the report can say
+exactly which parts of the answer are exact and which are bounded.
+
+The statuses:
+
+``complete``
+    The origin's sub-search ran to exhaustion; its path set is exact.
+``partial``
+    The budget ran out mid-origin; the recorded paths are true paths
+    but more may exist.  The report attaches the GBA forward-pass
+    arrival as a sound upper bound on anything that was missed.
+``skipped``
+    The budget was already exhausted when the origin's turn came (or a
+    checkpoint resume marked it pending); no paths were searched.
+``failed``
+    A parallel shard for this origin kept crashing after retries and
+    the serial fallback; only the GBA bound is available.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Recognized per-origin completeness statuses, strongest first.
+ORIGIN_STATUSES = ("complete", "partial", "skipped", "failed")
+
+#: Wall-clock is polled once per this many extensions -- the search
+#: loop is too hot for a perf_counter call per extension.
+WALL_POLL_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class SearchBudgets:
+    """Effort caps for one search run.  ``None`` disables an axis; the
+    all-``None`` default is the exhaustive (budget-free) search."""
+
+    wall_seconds: Optional[float] = None
+    max_extensions: Optional[int] = None
+    max_backtracks: Optional[int] = None
+
+    def bounded(self) -> bool:
+        return (self.wall_seconds is not None
+                or self.max_extensions is not None
+                or self.max_backtracks is not None)
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "max_extensions": self.max_extensions,
+            "max_backtracks": self.max_backtracks,
+        }
+
+
+class BudgetLedger:
+    """Mutable effort ledger charged by the search loop.
+
+    One ledger covers one whole run (all origins of a serial search, or
+    one shard of a parallel one): origins finished before exhaustion
+    stay ``complete``, the origin in flight when the ledger trips is
+    ``partial``, later ones are ``skipped``.
+    """
+
+    __slots__ = ("budgets", "extensions", "backtracks", "started",
+                 "exhausted", "exhausted_axis", "_poll")
+
+    def __init__(self, budgets: SearchBudgets):
+        self.budgets = budgets
+        self.extensions = 0
+        self.backtracks = 0
+        self.started = time.perf_counter()
+        self.exhausted = False
+        self.exhausted_axis: Optional[str] = None
+        self._poll = 0
+
+    def charge_extension(self) -> bool:
+        """Charge one extension attempt; True while budget remains."""
+        if self.exhausted:
+            return False
+        b = self.budgets
+        self.extensions += 1
+        if (b.max_extensions is not None
+                and self.extensions > b.max_extensions):
+            return self._trip("extensions")
+        if b.wall_seconds is not None:
+            self._poll += 1
+            if self._poll >= WALL_POLL_INTERVAL:
+                self._poll = 0
+                if time.perf_counter() - self.started > b.wall_seconds:
+                    return self._trip("wall_seconds")
+        return True
+
+    def charge_backtracks(self, count: int) -> bool:
+        """Charge justification backtracks; True while budget remains."""
+        if self.exhausted:
+            return False
+        self.backtracks += count
+        b = self.budgets
+        if (b.max_backtracks is not None
+                and self.backtracks > b.max_backtracks):
+            return self._trip("backtracks")
+        return True
+
+    def _trip(self, axis: str) -> bool:
+        self.exhausted = True
+        self.exhausted_axis = axis
+        return False
+
+
+@dataclass
+class OriginOutcome:
+    """Completeness record of one origin's sub-search."""
+
+    origin: str
+    status: str
+    paths_found: int = 0
+    #: Sound upper bound (seconds) on any arrival this origin could
+    #: still produce -- attached for every non-``complete`` origin from
+    #: the GBA forward pass; None while not yet computed.
+    gba_bound: Optional[float] = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "origin": self.origin,
+            "status": self.status,
+            "paths_found": self.paths_found,
+            "gba_bound": self.gba_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OriginOutcome":
+        return cls(
+            origin=data["origin"],
+            status=data["status"],
+            paths_found=int(data.get("paths_found", 0)),
+            gba_bound=data.get("gba_bound"),
+        )
+
+
+@dataclass
+class CompletenessReport:
+    """Per-origin outcomes of one run, in origin declaration order."""
+
+    origins: Dict[str, OriginOutcome] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return all(o.status == "complete" for o in self.origins.values())
+
+    def degraded_origins(self) -> Dict[str, OriginOutcome]:
+        return {name: o for name, o in self.origins.items()
+                if o.status != "complete"}
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for outcome in self.origins.values():
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        body = ", ".join(
+            f"{counts[s]} {s}" for s in ORIGIN_STATUSES if counts.get(s)
+        )
+        return body or "no origins"

@@ -19,12 +19,26 @@ Three certification tiers, each independent of the machinery it checks
   failing circuit to a minimal counterexample
   (:mod:`repro.verify.shrink`) and serializes it for pinning under
   ``tests/seeds/``.
+* :mod:`repro.verify.faults` -- a **fault-injection harness** for the
+  resilience layer: deterministic worker crashes, shard hangs,
+  corrupted library entries and mid-run interrupts, each asserted to
+  recover to output identical to a fault-free run (the CLI front end
+  is ``repro.cli verify --faults``).
 
 Progress surfaces through :mod:`repro.obs` as ``verify.*`` metrics:
 ``verify.circuits_checked``, ``verify.mismatches``,
-``verify.shrink_steps``.  The CLI front end is ``repro.cli verify``.
+``verify.shrink_steps``, ``verify.fault_scenarios``,
+``verify.fault_failures``.  The CLI front end is ``repro.cli verify``.
 """
 
+from repro.verify.faults import (
+    FAULT_SCENARIOS,
+    FaultPlan,
+    FaultReport,
+    FaultScenarioResult,
+    corrupt_charlib,
+    run_faults,
+)
 from repro.verify.fuzz import FuzzFailure, FuzzReport, load_seed, run_fuzz
 from repro.verify.metamorphic import (
     INVARIANTS,
@@ -41,13 +55,19 @@ from repro.verify.shrink import shrink_circuit
 
 __all__ = [
     "EndpointTruth",
+    "FAULT_SCENARIOS",
+    "FaultPlan",
+    "FaultReport",
+    "FaultScenarioResult",
     "FuzzFailure",
     "FuzzReport",
     "INVARIANTS",
     "InvariantResult",
     "OracleMismatch",
     "OracleReport",
+    "corrupt_charlib",
     "load_seed",
+    "run_faults",
     "run_fuzz",
     "run_metamorphic",
     "run_oracle",

@@ -1,0 +1,404 @@
+"""Fault-injection harness for the resilience layer.
+
+The supervisor's recovery paths (worker-crash retry, shard-timeout
+teardown, missing-arc substitution, checkpoint/resume after an
+interrupt) only run when something goes wrong, which on a healthy
+machine is never.  This module makes them run deterministically:
+
+* :class:`FaultPlan` -- a picklable fault schedule the supervisor ships
+  to its workers.  A scheduled *crash* hard-kills the worker process
+  with :func:`os._exit` (no unwinding, exactly like an OOM kill); a
+  scheduled *hang* sleeps past the shard deadline; ``interrupt_after``
+  raises the supervisor's own :class:`KeyboardInterrupt` after N
+  completed shards, exercising the SIGINT unwind without a signal.
+* :func:`corrupt_charlib` -- a seeded deep copy of a characterized
+  library with a sample of timing arcs removed, modeling a truncated or
+  mis-characterized library file.
+* :func:`run_faults` -- the scenario driver behind
+  ``repro verify --faults``: each scenario injects one fault class and
+  asserts the recovered output is *identical* to a fault-free run (or,
+  for corruption, that the run degrades per policy instead of dying).
+
+Faults are injected only into worker processes (``in_worker=True``);
+the serial fallback and ``jobs=1`` runs see the same plan but no
+faults, which is precisely the recovery guarantee being tested.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.charlib.store import CharacterizedLibrary
+from repro.core.path import TimedPath
+from repro.netlist.circuit import Circuit
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.resilience.errors import SearchInterrupted
+from repro.verify.metamorphic import _path_identity
+
+_log = get_logger("repro.verify")
+
+#: Scenario names, in execution order.
+FAULT_SCENARIOS = (
+    "worker_crash",
+    "shard_timeout",
+    "corrupt_charlib",
+    "interrupt_resume",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault schedule, shipped to workers via the pool
+    initializer (plain data only, so it pickles).
+
+    Attempt numbers are zero-based: ``crash_attempts=(0,)`` crashes the
+    first try of each listed origin and lets every retry succeed.
+    """
+
+    #: Origins whose worker dies hard (``os._exit``) on the listed
+    #: attempts.
+    crash_origins: Tuple[str, ...] = ()
+    crash_attempts: Tuple[int, ...] = (0,)
+    crash_exit_code: int = 17
+    #: Origins whose worker sleeps ``hang_seconds`` on the listed
+    #: attempts -- long enough to trip the supervisor's shard deadline.
+    hang_origins: Tuple[str, ...] = ()
+    hang_attempts: Tuple[int, ...] = (0,)
+    hang_seconds: float = 30.0
+    #: Raise KeyboardInterrupt in the *supervisor* once this many
+    #: shards have completed (None = never) -- a deterministic SIGINT.
+    interrupt_after: Optional[int] = None
+
+    def before_shard(self, origin: str, attempt: int,
+                     in_worker: bool) -> None:
+        """Supervisor/worker hook: called immediately before a shard's
+        search starts.  Faults fire only inside pool workers; the
+        in-process paths (serial mode, serial fallback) are fault-free
+        by construction."""
+        if not in_worker:
+            return
+        if origin in self.crash_origins and attempt in self.crash_attempts:
+            # Hard death: skips every finally/atexit, like a kill -9.
+            os._exit(self.crash_exit_code)
+        if origin in self.hang_origins and attempt in self.hang_attempts:
+            time.sleep(self.hang_seconds)
+
+
+def corrupt_charlib(
+    charlib: CharacterizedLibrary,
+    circuit: Optional[Circuit] = None,
+    seed: int = 0,
+    drop_fraction: float = 0.25,
+    max_drops: int = 64,
+) -> Tuple[CharacterizedLibrary, List[str]]:
+    """A deep copy of ``charlib`` with a seeded sample of timing arcs
+    removed.  When ``circuit`` is given, only arcs of cells the circuit
+    instantiates are candidates (so the corruption is guaranteed to be
+    in the analysis's way), and never the last arc of a cell (so the
+    ``warn-substitute`` policy always has a donor arc).
+
+    Returns the corrupted library and the sorted list of dropped arc
+    keys.
+    """
+    data = charlib.to_dict()
+    used = ({inst.cell.name for inst in circuit.instances.values()}
+            if circuit is not None else None)
+    by_cell: Dict[str, int] = {}
+    for arc in data["arcs"]:
+        by_cell[arc["cell"]] = by_cell.get(arc["cell"], 0) + 1
+    candidates = [
+        i for i, arc in enumerate(data["arcs"])
+        if (used is None or arc["cell"] in used) and by_cell[arc["cell"]] > 1
+    ]
+    rng = random.Random(seed)
+    count = min(len(candidates), max_drops,
+                max(1, int(len(candidates) * drop_fraction)))
+    # Re-check the donor guarantee as we draw: dropping several arcs of
+    # one small cell could otherwise empty it.
+    dropped_idx: List[int] = []
+    for i in rng.sample(candidates, len(candidates)):
+        if len(dropped_idx) >= count:
+            break
+        cell = data["arcs"][i]["cell"]
+        if by_cell[cell] > 1:
+            by_cell[cell] -= 1
+            dropped_idx.append(i)
+    dropped = sorted(
+        "|".join((data["arcs"][i]["cell"], data["arcs"][i]["pin"],
+                  data["arcs"][i]["vector_id"],
+                  "r" if data["arcs"][i]["input_rising"] else "f",
+                  "R" if data["arcs"][i]["output_rising"] else "F"))
+        for i in dropped_idx
+    )
+    keep = set(range(len(data["arcs"]))) - set(dropped_idx)
+    data["arcs"] = [arc for i, arc in enumerate(data["arcs"]) if i in keep]
+    return CharacterizedLibrary.from_dict(data), dropped
+
+
+@dataclass
+class FaultScenarioResult:
+    """Outcome of one injected-fault scenario."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    #: Recovery counters observed during the scenario (registry deltas).
+    recovery: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        status = "recovered" if self.ok else "FAILED"
+        tail = f" -- {self.detail}" if self.detail else ""
+        events = ", ".join(f"{k}={v:g}" for k, v in sorted(
+            self.recovery.items()) if v)
+        if events:
+            tail += f" [{events}]"
+        return f"{self.name}: {status}{tail}"
+
+
+@dataclass
+class FaultReport:
+    """All scenarios of one :func:`run_faults` invocation."""
+
+    circuit: str
+    seed: int
+    scenarios: List[FaultScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    def describe(self) -> str:
+        lines = [
+            f"fault injection on {self.circuit} (seed {self.seed}): "
+            + ("all scenarios recovered" if self.ok else "FAILURES")
+        ]
+        lines.extend("  " + s.describe() for s in self.scenarios)
+        return "\n".join(lines)
+
+
+#: Registry counters snapshotted around each scenario.
+_RECOVERY_COUNTERS = (
+    "resilience.worker_crashes",
+    "resilience.shard_timeouts",
+    "resilience.shard_retries",
+    "resilience.serial_fallbacks",
+    "resilience.degraded_origins",
+    "resilience.resumed_shards",
+    "delaycalc.arc_substitutions",
+)
+
+
+def _counter_values() -> Dict[str, float]:
+    return {name: obs_metrics.REGISTRY.counter(name).as_value()
+            for name in _RECOVERY_COUNTERS}
+
+
+def _delta(before: Dict[str, float]) -> Dict[str, float]:
+    after = _counter_values()
+    return {name: after[name] - before[name] for name in before}
+
+
+def run_faults(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    seed: int = 0,
+    jobs: int = 2,
+    max_paths: Optional[int] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    shard_timeout: Optional[float] = None,
+) -> FaultReport:
+    """Run the fault-scenario catalog (or a named subset) on one
+    circuit and certify every recovery.
+
+    Each scenario's recovered output is compared path-by-path
+    (bit-exact arrivals) against a fault-free reference run, so a
+    recovery that silently dropped or re-ordered work fails the
+    scenario even though no exception escaped.
+    """
+    from repro.perf import supervised_find_paths
+
+    selected = list(scenarios) if scenarios is not None \
+        else list(FAULT_SCENARIOS)
+    unknown = [name for name in selected if name not in FAULT_SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown fault scenarios {unknown}; have {FAULT_SCENARIOS}")
+    jobs = max(jobs, 2)  # faults live in workers; a pool is required
+    origins = list(circuit.inputs)
+    report = FaultReport(circuit=circuit.name, seed=seed)
+    rng = random.Random(seed)
+
+    started = time.perf_counter()
+    reference = supervised_find_paths(
+        circuit, charlib, jobs=jobs, max_paths=max_paths)
+    baseline_elapsed = time.perf_counter() - started
+    reference_ids = [_path_identity(p) for p in reference.paths]
+    if shard_timeout is None:
+        # Generous headroom over the whole fault-free run, so only the
+        # injected hang can ever trip the deadline.
+        shard_timeout = max(5.0, 10.0 * baseline_elapsed)
+
+    def compare(name: str, result, recovery: Dict[str, float],
+                expect: Dict[str, str]) -> FaultScenarioResult:
+        got = [_path_identity(p) for p in result.paths]
+        if got != reference_ids:
+            return FaultScenarioResult(
+                name, False,
+                f"recovered run differs from fault-free reference "
+                f"({len(got)} vs {len(reference_ids)} paths)", recovery)
+        for counter, why in expect.items():
+            if not recovery.get(counter):
+                return FaultScenarioResult(
+                    name, False, f"no {counter} recorded ({why})", recovery)
+        return FaultScenarioResult(
+            name, True, f"{len(got)} paths identical", recovery)
+
+    for name in selected:
+        before = _counter_values()
+        try:
+            if name == "worker_crash":
+                victims = tuple(rng.sample(origins,
+                                           min(2, len(origins))))
+                result = supervised_find_paths(
+                    circuit, charlib, jobs=jobs, max_paths=max_paths,
+                    fault_plan=FaultPlan(crash_origins=victims),
+                )
+                outcome = compare(name, result, _delta(before), {
+                    "resilience.worker_crashes": "no crash detected",
+                    "resilience.shard_retries": "no retry happened",
+                })
+            elif name == "shard_timeout":
+                victim = (rng.choice(origins),)
+                result = supervised_find_paths(
+                    circuit, charlib, jobs=jobs, max_paths=max_paths,
+                    shard_timeout=shard_timeout,
+                    fault_plan=FaultPlan(
+                        hang_origins=victim,
+                        hang_seconds=4.0 * shard_timeout,
+                    ),
+                )
+                outcome = compare(name, result, _delta(before), {
+                    "resilience.shard_timeouts": "no deadline tripped",
+                })
+            elif name == "corrupt_charlib":
+                outcome = _run_corrupt_charlib(
+                    circuit, charlib, seed, jobs, max_paths, before)
+            else:  # interrupt_resume
+                outcome = _run_interrupt_resume(
+                    circuit, charlib, jobs, max_paths, reference_ids,
+                    before)
+        except Exception as exc:  # a scenario must never abort the run
+            outcome = FaultScenarioResult(
+                name, False, f"escaped {type(exc).__name__}: {exc}",
+                _delta(before))
+        report.scenarios.append(outcome)
+        _log.info("verify.fault_scenario", scenario=name, ok=outcome.ok,
+                  detail=outcome.detail)
+
+    registry = obs_metrics.REGISTRY
+    registry.counter("verify.fault_scenarios").inc(len(report.scenarios))
+    failures = sum(1 for s in report.scenarios if not s.ok)
+    registry.counter("verify.fault_failures").inc(failures)
+    registry.counter("verify.fault_recoveries").inc(
+        len(report.scenarios) - failures)
+    return report
+
+
+def _run_corrupt_charlib(circuit, charlib, seed, jobs, max_paths,
+                         before) -> FaultScenarioResult:
+    """Corruption is a *data* fault, not an infrastructure one: under
+    the default ``error`` policy the run must abort with the taxonomy
+    error; under ``warn-substitute`` it must complete with the
+    substitution counter raised, identically in serial and parallel."""
+    from repro.core.delaycalc import MissingArcsError
+    from repro.perf import supervised_find_paths
+
+    corrupted, dropped = corrupt_charlib(charlib, circuit, seed=seed)
+    if not dropped:
+        return FaultScenarioResult(
+            "corrupt_charlib", True, "no droppable arcs; skipped")
+    try:
+        supervised_find_paths(circuit, corrupted, jobs=1,
+                              max_paths=max_paths)
+    except MissingArcsError:
+        pass  # the policy decision the `error` default promises
+    else:
+        return FaultScenarioResult(
+            "corrupt_charlib", False,
+            f"{len(dropped)} arcs dropped but policy `error` "
+            "did not raise", _delta(before))
+    serial = supervised_find_paths(
+        circuit, corrupted, jobs=1, max_paths=max_paths,
+        missing_arc_policy="warn-substitute")
+    parallel = supervised_find_paths(
+        circuit, corrupted, jobs=jobs, max_paths=max_paths,
+        missing_arc_policy="warn-substitute")
+    recovery = _delta(before)
+    serial_ids = [_path_identity(p) for p in serial.paths]
+    parallel_ids = [_path_identity(p) for p in parallel.paths]
+    if serial_ids != parallel_ids:
+        return FaultScenarioResult(
+            "corrupt_charlib", False,
+            "warn-substitute serial and parallel runs differ", recovery)
+    if not recovery.get("delaycalc.arc_substitutions"):
+        return FaultScenarioResult(
+            "corrupt_charlib", False,
+            f"{len(dropped)} arcs dropped but no substitution recorded",
+            recovery)
+    return FaultScenarioResult(
+        "corrupt_charlib", True,
+        f"{len(dropped)} arcs dropped, run degraded per policy", recovery)
+
+
+def _run_interrupt_resume(circuit, charlib, jobs, max_paths,
+                          reference_ids, before) -> FaultScenarioResult:
+    """Interrupt a checkpointed run mid-flight, then resume from the
+    snapshot: the union must be the exact fault-free path set and the
+    resumed run must adopt at least one shard without re-searching."""
+    from repro.perf import supervised_find_paths
+
+    interrupt_after = max(1, len(circuit.inputs) // 2)
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        checkpoint = os.path.join(tmp, "search.ckpt.json")
+        try:
+            supervised_find_paths(
+                circuit, charlib, jobs=jobs, max_paths=max_paths,
+                checkpoint=checkpoint,
+                fault_plan=FaultPlan(interrupt_after=interrupt_after),
+            )
+        except SearchInterrupted as exc:
+            partial = exc.partial
+        else:
+            return FaultScenarioResult(
+                "interrupt_resume", False,
+                "interrupt did not fire", _delta(before))
+        if not os.path.exists(checkpoint):
+            return FaultScenarioResult(
+                "interrupt_resume", False,
+                "no checkpoint written before interrupt", _delta(before))
+        resumed = supervised_find_paths(
+            circuit, charlib, jobs=jobs, max_paths=max_paths,
+            resume=checkpoint,
+        )
+    recovery = _delta(before)
+    got = [_path_identity(p) for p in resumed.paths]
+    if got != reference_ids:
+        return FaultScenarioResult(
+            "interrupt_resume", False,
+            f"resumed run differs from fault-free reference "
+            f"({len(got)} vs {len(reference_ids)} paths)", recovery)
+    if resumed.resumed_shards < 1:
+        return FaultScenarioResult(
+            "interrupt_resume", False,
+            "resume adopted no checkpointed shard", recovery)
+    return FaultScenarioResult(
+        "interrupt_resume", True,
+        f"interrupted after {len(partial.paths)} partial paths, resume "
+        f"adopted {resumed.resumed_shards} shard(s), "
+        f"{len(got)} paths identical", recovery)
