@@ -28,7 +28,8 @@ def circuit():
     return techmap(random_dag("par240", 16, 240, seed=7, n_outputs=8))
 
 
-def test_parallel_matches_serial_effort(benchmark, poly90, circuit):
+def test_parallel_matches_serial_effort(benchmark, poly90, circuit,
+                                        bench_snapshot):
     def run_both():
         sta = TruePathSTA(circuit, poly90)
         start = time.perf_counter()
@@ -69,3 +70,12 @@ def test_parallel_matches_serial_effort(benchmark, poly90, circuit):
     )
     benchmark.extra_info["serial_stats"] = serial_stats
     benchmark.extra_info["parallel_stats"] = merged_stats
+    bench_snapshot("parallel_speedup", {
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / max(parallel_seconds, 1e-9),
+        "serial_stats": serial_stats,
+        "parallel_stats": merged_stats,
+    })

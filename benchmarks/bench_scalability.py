@@ -42,7 +42,7 @@ def scaling(poly90):
     return rows
 
 
-def test_enumeration_scaling(benchmark, scaling):
+def test_enumeration_scaling(benchmark, scaling, bench_snapshot):
     """The engine's per-step cost stays bounded as circuits grow.
 
     Total runtime grows with the explored search space (deep cones cost
@@ -55,6 +55,7 @@ def test_enumeration_scaling(benchmark, scaling):
     assert all(r["paths"] > 0 for r in rows)
     per = [r["per_step"] for r in rows]
     assert max(per) < 12 * max(min(per), 1e-9)
+    bench_snapshot("scalability", {"rows": rows})
 
 
 def test_preprocessing_linear(benchmark, poly90):
@@ -79,7 +80,7 @@ def test_preprocessing_linear(benchmark, poly90):
     assert ratio < size_ratio * 8  # near-linear with generous slack
 
 
-def test_hotpath_cache_effectiveness(benchmark, poly90):
+def test_hotpath_cache_effectiveness(benchmark, poly90, bench_snapshot):
     """Arc cache + justify skip leave the path set unchanged while
     eliding most of the hot-path work.
 
@@ -120,6 +121,11 @@ def test_hotpath_cache_effectiveness(benchmark, poly90):
             k: v for k, v in row.items() if k != "paths"
         }
     benchmark.extra_info["hotpath_hit_rate"] = hit_rate
+    bench_snapshot("hotpath_cache", {
+        "hit_rate": hit_rate,
+        "before": {k: v for k, v in before.items() if k != "paths"},
+        "after": {k: v for k, v in after.items() if k != "paths"},
+    })
 
 
 def test_n_worst_prunes_work(benchmark, poly90):

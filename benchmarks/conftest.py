@@ -13,12 +13,20 @@ backtracks, arc evaluations -- next to the wall-clock numbers.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro import obs
 from repro.charlib.characterize import FAST_GRID, characterize_library
 from repro.gates.library import default_library
 from repro.tech.presets import TECHNOLOGIES
+
+#: Directory for standalone ``BENCH_<name>.json`` snapshots.  Unset
+#: (the default) disables emission, so plain test runs stay read-only.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
 @pytest.fixture(autouse=True)
@@ -37,7 +45,38 @@ def _metrics_snapshot(request):
     )
     yield
     if benchmark is not None:
+        obs.aggregate.record_resource_usage()
         benchmark.extra_info["metrics"] = obs.snapshot()
+
+
+@pytest.fixture
+def bench_snapshot(request):
+    """Writer for standalone ``BENCH_<name>.json`` metric snapshots.
+
+    Returns a callable ``(name, payload) -> Optional[Path]`` that dumps
+    the payload plus the current metrics snapshot (with resource-usage
+    gauges stamped) under ``$REPRO_BENCH_DIR`` -- so benchmark runs
+    leave diffable artifacts for ``repro obs diff`` without needing the
+    pytest-benchmark JSON machinery.  No-op unless the env var is set.
+    """
+    def write(name: str, payload: dict):
+        out_dir = os.environ.get(BENCH_DIR_ENV)
+        if not out_dir:
+            return None
+        obs.aggregate.record_resource_usage()
+        document = {
+            "bench": name,
+            "test": request.node.name,
+            **payload,
+            "metrics": obs.snapshot(),
+        }
+        target = Path(out_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2, default=str))
+        return path
+
+    return write
 
 
 def _poly(tech):

@@ -6,6 +6,8 @@ Analyze a netlist file with either tool::
     python -m repro.cli analyze design.v --tool baseline --required 500
     python -m repro.cli analyze iscas:c432 --tool gba --compare
     python -m repro.cli analyze iscas:c880a --n-worst 10 --metrics-json m.json
+    python -m repro.cli analyze iscas:c432 --jobs 4 --progress --trace-json t.json
+    python -m repro.cli obs diff before.json after.json --fail-on 'pathfinder\.:10'
     python -m repro.cli stats circuit.bench
 
 ``.bench`` files are parsed as ISCAS benchmarks (and technology-mapped
@@ -37,7 +39,9 @@ from repro.netlist.circuit import Circuit
 from repro.netlist.techmap import techmap
 from repro.netlist.verilog import parse_verilog
 from repro.resilience.errors import (
+    EXIT_CONFIG,
     EXIT_INTERRUPTED,
+    OutputWriteError,
     ResilienceError,
     SearchInterrupted,
     classify,
@@ -102,9 +106,23 @@ def _setup_obs(args) -> None:
                               jsonl_path=getattr(args, "log_json", None))
     if getattr(args, "profile", False):
         obs.tracing.enable()
+    if getattr(args, "trace_json", None):
+        obs.export.enable()
+
+
+def _write_artifact(path: str, text: str, what: str) -> None:
+    """Write a user-requested output file, mapping any OS failure into
+    the error taxonomy (the analysis succeeded; silently dropping the
+    artifact and exiting 0 would hide the loss from scripts)."""
+    try:
+        Path(path).write_text(text)
+    except OSError as exc:
+        raise OutputWriteError(f"cannot write {what} to {path}: {exc}",
+                               cause=exc)
 
 
 def _finish_obs(args) -> int:
+    obs.aggregate.record_resource_usage()
     if getattr(args, "profile", False):
         print()
         print(obs.tracing.render())
@@ -118,13 +136,18 @@ def _finish_obs(args) -> int:
                 print(f"  {key:<48s} {value}")
     metrics_json = getattr(args, "metrics_json", None)
     if metrics_json:
-        try:
-            Path(metrics_json).write_text(json.dumps(obs.snapshot(), indent=2))
-        except OSError as exc:
-            print(f"\nerror: cannot write metrics snapshot: {exc}",
-                  file=sys.stderr)
-            return 1
+        _write_artifact(metrics_json, json.dumps(obs.snapshot(), indent=2),
+                        "metrics snapshot")
         print(f"\nwrote metrics snapshot to {metrics_json}")
+    trace_json = getattr(args, "trace_json", None)
+    if trace_json:
+        try:
+            n_events = obs.export.collector().write(trace_json)
+        except OSError as exc:
+            raise OutputWriteError(
+                f"cannot write trace to {trace_json}: {exc}", cause=exc)
+        print(f"wrote {n_events} trace events to {trace_json} "
+              "(load in ui.perfetto.dev or chrome://tracing)")
     return 0
 
 
@@ -149,6 +172,8 @@ def _wants_supervision(args, budgets) -> bool:
             or args.checkpoint is not None
             or args.resume is not None
             or args.shard_timeout is not None
+            or args.heartbeat_timeout is not None
+            or args.progress
             or args.missing_arc_policy != "error")
 
 
@@ -174,6 +199,8 @@ def _analyze(args) -> int:
                 shard_retries=args.shard_retries,
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                progress=args.progress,
+                heartbeat_timeout=args.heartbeat_timeout,
             )
             paths = analysis.paths
             if args.n_worst is not None:
@@ -241,7 +268,8 @@ def _analyze(args) -> int:
         print()
         print(format_slack_report(entries[: args.top]))
     if args.json:
-        Path(args.json).write_text(paths_to_json(paths, indent=2))
+        _write_artifact(args.json, paths_to_json(paths, indent=2),
+                        "path list")
         print(f"\nwrote {len(paths)} paths to {args.json}")
     return _finish_obs(args)
 
@@ -308,6 +336,43 @@ def _verify(args) -> int:
 
     obs_rc = _finish_obs(args)
     return 1 if failed else obs_rc
+
+
+def _obs_diff(args) -> int:
+    """Compare two ``--metrics-json`` snapshots; exit
+    :data:`~repro.obs.diff.EXIT_REGRESSION` when a ``--fail-on`` rule is
+    violated (the regression-gate building block for CI)."""
+    from repro.obs.diff import (
+        EXIT_REGRESSION,
+        diff_snapshots,
+        format_diff,
+        load_snapshot,
+        parse_fail_rule,
+        violations,
+    )
+
+    try:
+        rules = [parse_fail_rule(spec) for spec in args.fail_on]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    before = load_snapshot(args.before)
+    after = load_snapshot(args.after)
+    entries = diff_snapshots(before, after)
+    print(f"metrics diff: {args.before} -> {args.after}")
+    print(format_diff(entries, only_changed=not args.all,
+                      key_filter=args.filter))
+    failed = violations(entries, rules)
+    if failed:
+        print(f"\n{len(failed)} regression(s) over threshold:",
+              file=sys.stderr)
+        for entry, rule in failed:
+            print(f"  {entry.describe()}  (rule {rule.pattern.pattern}:"
+                  f"{rule.threshold_pct:g})", file=sys.stderr)
+        return EXIT_REGRESSION
+    if rules:
+        print("\nall --fail-on rules passed")
+    return 0
 
 
 def _stats(args) -> int:
@@ -390,6 +455,22 @@ def main(argv: Optional[list] = None) -> int:
                          help="trace spans and print a span/metric tree")
     analyze.add_argument("--metrics-json", default=None, metavar="PATH",
                          help="write the metrics+span snapshot to PATH")
+    analyze.add_argument("--trace-json", default=None, metavar="PATH",
+                         help="write a Chrome trace-event / Perfetto "
+                              "timeline (one lane per worker process, "
+                              "instant markers for resilience incidents) "
+                              "to PATH")
+    analyze.add_argument("--progress", action="store_true",
+                         help="developed tool: live per-origin progress "
+                              "line on stderr (heartbeats from worker "
+                              "processes under --jobs)")
+    analyze.add_argument("--heartbeat-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="treat a parallel shard as stalled when its "
+                              "workers send no heartbeat for this long "
+                              "(terminate + retry, like --shard-timeout "
+                              "but distinguishing silent hangs from slow "
+                              "progress)")
     analyze.set_defaults(func=_analyze)
 
     verify = sub.add_parser(
@@ -438,6 +519,29 @@ def main(argv: Optional[list] = None) -> int:
     verify.add_argument("--profile", action="store_true")
     verify.add_argument("--metrics-json", default=None, metavar="PATH")
     verify.set_defaults(func=_verify)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="observability utilities over --metrics-json snapshots",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two metrics snapshots; with --fail-on, exit "
+             "nonzero when a counter regresses past a threshold",
+    )
+    obs_diff.add_argument("before", help="baseline --metrics-json file")
+    obs_diff.add_argument("after", help="candidate --metrics-json file")
+    obs_diff.add_argument("--fail-on", action="append", default=[],
+                          metavar="REGEX:PCT",
+                          help="fail (exit 4) when any metric key matching "
+                               "REGEX grew by more than PCT percent "
+                               "(repeatable; e.g. 'pathfinder\\.:10')")
+    obs_diff.add_argument("--filter", default=None, metavar="REGEX",
+                          help="only show keys matching REGEX")
+    obs_diff.add_argument("--all", action="store_true",
+                          help="show unchanged keys too")
+    obs_diff.set_defaults(func=_obs_diff)
 
     stats = sub.add_parser("stats", help="print netlist statistics")
     stats.add_argument("netlist")

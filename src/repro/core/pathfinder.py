@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.delaycalc import DelayCalculator
 from repro.core.engine import (
@@ -56,6 +56,10 @@ from repro.resilience.budgets import (
     OriginOutcome,
     SearchBudgets,
 )
+
+#: Extensions between progress-hook invocations -- a power of two so
+#: the hot loop's check is one branch on a modulo of a constant.
+PROGRESS_EXTENSION_INTERVAL = 1024
 
 
 @dataclass
@@ -264,6 +268,7 @@ class PathFinder:
         justify_skip: bool = True,
         bounds: Optional[PruneBounds] = None,
         budgets: Optional[SearchBudgets] = None,
+        progress: Optional[Callable[["PathFinder"], None]] = None,
     ):
         self.ec = ec
         self.calc = calc
@@ -274,6 +279,12 @@ class PathFinder:
         self.complete = complete
         self.justify_skip = justify_skip
         self.budgets = budgets
+        #: Optional heartbeat hook (called with the finder every
+        #: :data:`PROGRESS_EXTENSION_INTERVAL` extensions and on every
+        #: recorded path); the hook throttles itself on wall clock.
+        self.progress = progress
+        #: Worst arrival recorded so far (the live "best bound").
+        self.best_arrival: Optional[float] = None
         self.completeness = CompletenessReport()
         self._ledger: Optional[BudgetLedger] = None
         self._origin: int = -1
@@ -424,6 +435,7 @@ class PathFinder:
         self.stats.states_saved += 1
 
         ledger = self._ledger
+        progress = self.progress
         while stack:
             frame = stack[-1]
             applied = None
@@ -432,6 +444,10 @@ class PathFinder:
                 if ledger is not None and not ledger.charge_extension():
                     return  # budget exhausted: keep recorded paths
                 self.stats.extensions_tried += 1
+                if (progress is not None and
+                        not self.stats.extensions_tried
+                        % PROGRESS_EXTENSION_INTERVAL):
+                    progress(self)
                 if self._prune(frame, gate, pin):
                     self.stats.pruned += 1
                     continue
@@ -462,6 +478,11 @@ class PathFinder:
             if self.ec.is_output[out_net]:
                 path = self._record(state, stack)
                 if path is not None:
+                    if (self.best_arrival is None
+                            or path.worst_arrival > self.best_arrival):
+                        self.best_arrival = path.worst_arrival
+                    if progress is not None:
+                        progress(self)
                     yield path
                     if self._done():
                         return

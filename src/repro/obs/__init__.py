@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.obs import logging, metrics, tracing
+from repro.obs import aggregate, diff, export, logging, metrics, progress, tracing
 from repro.obs.logging import Logger, configure as configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -50,13 +50,17 @@ __all__ = [
     "Logger",
     "MetricsRegistry",
     "REGISTRY",
+    "aggregate",
     "configure_logging",
     "counter",
+    "diff",
+    "export",
     "gauge",
     "get_logger",
     "histogram",
     "logging",
     "metrics",
+    "progress",
     "reset",
     "snapshot",
     "span",
@@ -72,6 +76,8 @@ def snapshot() -> Dict[str, object]:
 
 
 def reset() -> None:
-    """Clear the metrics registry and the span tree (one run's worth)."""
+    """Clear the metrics registry, the span tree, and any trace
+    collector (one run's worth)."""
     metrics.reset()
     tracing.reset()
+    export.reset()

@@ -1,0 +1,159 @@
+"""Metrics-snapshot diffing and the perf-regression gate.
+
+``repro obs diff A.json B.json`` compares two ``--metrics-json``
+snapshots (A = baseline, B = candidate) field by field and prints the
+percent deltas; ``--fail-on REGEX:PCT`` turns it into a CI tripwire
+that exits non-zero when any field whose flattened key matches
+``REGEX`` *increased* by more than ``PCT`` percent.  That gives the
+ROADMAP's before/after proof rule a tool instead of a convention: an
+optimization PR gates on ``pathfinder.extensions_tried`` /
+``delaycalc.arc_evaluations`` staying put, a perf job gates on
+``spans.pathfinder.justify.total_s`` with a generous threshold.
+
+Flattened keys: scalar metrics keep their snapshot key
+(``pathfinder.conflicts``), dict-valued entries (histograms, spans)
+append the field (``delaycalc.arc_ms.p95``,
+``spans.pathfinder.justify.count``), so tail latency is gateable, not
+just means.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Exit code when a --fail-on rule trips (distinct from usage errors).
+EXIT_REGRESSION = 4
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One flattened field's before/after pair."""
+
+    key: str
+    before: Optional[float]
+    after: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.before is None or self.after is None:
+            return None
+        return self.after - self.before
+
+    @property
+    def pct(self) -> Optional[float]:
+        """Percent change; None when undefined (new/missing key or a
+        zero baseline with a nonzero candidate)."""
+        if self.before is None or self.after is None:
+            return None
+        if self.before == 0:
+            return 0.0 if self.after == 0 else None
+        return (self.after - self.before) / abs(self.before) * 100.0
+
+    def describe(self) -> str:
+        before = "-" if self.before is None else f"{self.before:g}"
+        after = "-" if self.after is None else f"{self.after:g}"
+        pct = self.pct
+        if pct is None:
+            tag = "new" if self.before is None else (
+                "gone" if self.after is None else "+inf%")
+        else:
+            tag = f"{pct:+.1f}%"
+        return f"{self.key:<56s} {before:>14s} -> {after:>14s}  {tag}"
+
+
+@dataclass(frozen=True)
+class FailRule:
+    """One ``REGEX:PCT`` gate: match on the flattened key, trip when
+    the increase exceeds the threshold percent."""
+
+    pattern: re.Pattern
+    threshold_pct: float
+
+    def violated_by(self, entry: DiffEntry) -> bool:
+        if not self.pattern.search(entry.key):
+            return False
+        pct = entry.pct
+        if pct is None:
+            # A key that appeared with a nonzero value, or grew from a
+            # zero baseline, is an unbounded increase: trip.
+            return (entry.after or 0) > (entry.before or 0)
+        return pct > self.threshold_pct
+
+
+def parse_fail_rule(spec: str) -> FailRule:
+    """Parse ``REGEX:PCT`` (the *last* colon splits, so regexes may
+    contain colons)."""
+    pattern, sep, pct = spec.rpartition(":")
+    if not sep or not pattern:
+        raise ValueError(
+            f"--fail-on expects REGEX:PCT (e.g. 'pathfinder\\.:10'), "
+            f"got {spec!r}")
+    try:
+        threshold = float(pct)
+    except ValueError:
+        raise ValueError(f"--fail-on threshold must be a number: {spec!r}")
+    return FailRule(re.compile(pattern), threshold)
+
+
+def load_snapshot(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def flatten(snapshot: Dict) -> Dict[str, float]:
+    """Flatten a snapshot into dotted scalar keys (see module doc)."""
+    flat: Dict[str, float] = {}
+
+    def put(key: str, value) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        flat[key] = float(value)
+
+    for key, value in snapshot.items():
+        if key == "spans" and isinstance(value, dict):
+            for name, entry in value.items():
+                for fname, fvalue in entry.items():
+                    put(f"spans.{name}.{fname}", fvalue)
+        elif isinstance(value, dict):
+            for fname, fvalue in value.items():
+                put(f"{key}.{fname}", fvalue)
+        else:
+            put(key, value)
+    return flat
+
+
+def diff_snapshots(before: Dict, after: Dict) -> List[DiffEntry]:
+    """Entries for the union of flattened keys, sorted by key."""
+    flat_before = flatten(before)
+    flat_after = flatten(after)
+    keys = sorted(set(flat_before) | set(flat_after))
+    return [DiffEntry(key, flat_before.get(key), flat_after.get(key))
+            for key in keys]
+
+
+def violations(entries: Sequence[DiffEntry],
+               rules: Sequence[FailRule]) -> List[Tuple[DiffEntry, FailRule]]:
+    out = []
+    for entry in entries:
+        for rule in rules:
+            if rule.violated_by(entry):
+                out.append((entry, rule))
+    return out
+
+
+def format_diff(entries: Sequence[DiffEntry], only_changed: bool = True,
+                key_filter: Optional[str] = None) -> str:
+    pattern = re.compile(key_filter) if key_filter else None
+    lines = []
+    for entry in entries:
+        if pattern is not None and not pattern.search(entry.key):
+            continue
+        if only_changed and entry.delta == 0:
+            continue
+        lines.append(entry.describe())
+    if not lines:
+        return "(no differences)"
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Chrome trace-event / Perfetto JSON export of the span timeline.
+
+``--trace-json FILE`` turns a run -- in particular a supervised
+parallel run -- into a timeline loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* one lane (trace "process") per OS process: the parent plus each
+  pool worker, named ``parent`` / ``worker-<pid>`` via metadata
+  events;
+* one complete event (``"ph": "X"``) per captured span, with
+  microsecond wall-clock timestamps so the lanes align across
+  processes;
+* instant events (``"ph": "i"``) for resilience incidents -- worker
+  crash, shard timeout, retry, serial fallback, checkpoint write --
+  emitted by the supervisor, so a recovery is visible as a mark on
+  the timeline right where the lane goes quiet.
+
+The output is the JSON object form of the trace-event format
+(``{"traceEvents": [...]}``) described in the Trace Event Format
+spec; every event carries the required ``name``/``ph``/``ts``/``pid``
+/``tid`` fields.
+
+The collector is process-wide and disabled by default (zero cost).
+Enabling it also turns on span event capture in
+:mod:`repro.obs.tracing`; worker-side events arrive via shard
+telemetry (:mod:`repro.obs.aggregate`) and land on the worker's lane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracing
+
+_collector: Optional["TraceCollector"] = None
+
+
+class TraceCollector:
+    """Accumulates trace events; one instance per enabled run."""
+
+    def __init__(self):
+        self.events: List[Dict] = []
+        self._named_pids: Dict[int, str] = {}
+        self.name_process(os.getpid(), "parent")
+
+    # ------------------------------------------------------------------
+    def name_process(self, pid: int, name: str) -> None:
+        if self._named_pids.get(pid) == name:
+            return
+        self._named_pids[pid] = name
+        self.events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+
+    def _ensure_named(self, pid: int) -> None:
+        if pid not in self._named_pids:
+            self.name_process(pid, f"worker-{pid}")
+
+    # ------------------------------------------------------------------
+    def add_complete(self, name: str, start_epoch_s: float, dur_s: float,
+                     pid: Optional[int] = None, tid: int = 0) -> None:
+        pid = pid if pid is not None else os.getpid()
+        self._ensure_named(pid)
+        self.events.append({
+            "name": name,
+            "ph": "X",
+            "ts": start_epoch_s * 1e6,
+            "dur": max(dur_s, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        })
+
+    def add_instant(self, name: str, ts_epoch_s: Optional[float] = None,
+                    pid: Optional[int] = None,
+                    args: Optional[Dict] = None) -> None:
+        pid = pid if pid is not None else os.getpid()
+        self._ensure_named(pid)
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": (ts_epoch_s if ts_epoch_s is not None else time.time())
+                  * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "s": "g",  # global scope: draw the mark across all lanes
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def ingest_span_events(
+        self,
+        events: Sequence[Tuple[str, float, float, int]],
+        pid: Optional[int] = None,
+    ) -> None:
+        """Fold raw :mod:`repro.obs.tracing` timeline events in."""
+        for name, start, dur, _depth in events:
+            self.add_complete(name, start, dur, pid=pid)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        return {
+            "traceEvents": sorted(
+                self.events,
+                key=lambda e: (0 if e["ph"] == "M" else 1, e.get("ts", 0.0)),
+            ),
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: str) -> int:
+        """Drain this process's pending span events and write the JSON
+        trace; returns the event count."""
+        self.ingest_span_events(tracing.drain_events())
+        payload = self.as_dict()
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        return len(payload["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+def enable() -> "TraceCollector":
+    """Turn on trace collection (and span event capture) for this run."""
+    global _collector
+    if _collector is None:
+        _collector = TraceCollector()
+    tracing.capture_events(True)
+    return _collector
+
+
+def enabled() -> bool:
+    return _collector is not None
+
+
+def collector() -> Optional[TraceCollector]:
+    return _collector
+
+
+def reset() -> None:
+    global _collector
+    _collector = None
+    tracing.capture_events(False)
+
+
+def instant(name: str, **args) -> None:
+    """Record an instant event if collection is enabled (no-op
+    otherwise) -- the supervisor's incident hook."""
+    if _collector is not None:
+        _collector.add_instant(name, args=args or None)
+
+
+def ingest_span_events(events, pid: Optional[int] = None) -> None:
+    """Shard-telemetry hook: no-op unless collection is enabled."""
+    if _collector is not None:
+        _collector.ingest_span_events(events, pid=pid)

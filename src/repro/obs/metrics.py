@@ -61,23 +61,32 @@ class Counter:
 
 
 class Gauge:
-    """Holds the most recently set value."""
+    """Holds the most recently set value.
 
-    __slots__ = ("name", "labels", "value")
+    ``version`` counts writes: the telemetry shipper uses it to tell a
+    gauge this process actually touched from one inherited untouched
+    across a ``fork`` (the value alone cannot distinguish the two).
+    """
+
+    __slots__ = ("name", "labels", "value", "version")
 
     def __init__(self, name: str, labels: Dict[str, str]):
         self.name = name
         self.labels = labels
         self.value: Number = 0
+        self.version: int = 0
 
     def set(self, value: Number) -> None:
         self.value = value
+        self.version += 1
 
     def inc(self, amount: Number = 1) -> None:
         self.value += amount
+        self.version += 1
 
     def dec(self, amount: Number = 1) -> None:
         self.value -= amount
+        self.version += 1
 
     def as_value(self) -> Number:
         return self.value
@@ -120,8 +129,10 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate q-th percentile (0..100): upper edge of the
-        bucket holding the q-th observation."""
+        """Approximate q-th percentile (0..100) by fixed-bucket linear
+        interpolation: the rank's position *within* its power-of-two
+        bucket interpolates between the bucket edges, clamped to the
+        exactly-tracked ``[vmin, vmax]``."""
         if not self.count:
             return 0.0
         rank = max(1, math.ceil(self.count * q / 100.0))
@@ -130,17 +141,24 @@ class Histogram:
             self.buckets.items(), key=lambda kv: -math.inf if kv[0] is None else kv[0]
         )
         for exponent, n in ordered:
-            seen += n
-            if seen >= rank:
+            if seen + n >= rank:
                 if exponent is None:
-                    return min(self.vmax, 0.0)
-                return min(self.vmax, math.ldexp(1.0, exponent))
+                    lower, upper = min(self.vmin, 0.0), 0.0
+                else:
+                    # frexp puts v in [2^(e-1), 2^e).
+                    lower = math.ldexp(1.0, exponent - 1)
+                    upper = math.ldexp(1.0, exponent)
+                fraction = (rank - seen) / n
+                estimate = lower + fraction * (upper - lower)
+                return min(self.vmax, max(self.vmin, estimate))
+            seen += n
         return self.vmax
 
     def as_value(self) -> Dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p95": 0.0,
+                    "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
@@ -149,8 +167,38 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+
+    # -- cross-process shipping (repro.obs.aggregate) ------------------
+    def state(self) -> Dict[str, object]:
+        """Picklable/JSON-safe internal state for shard shipping."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "buckets": {
+                "none" if exponent is None else str(exponent): n
+                for exponent, n in self.buckets.items()
+            },
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`state` into this one; bucket
+        counts add exactly, so merged percentiles equal what one
+        process observing both streams would report."""
+        count = int(state["count"])
+        if not count:
+            return
+        self.count += count
+        self.total += float(state["total"])
+        self.vmin = min(self.vmin, float(state["min"]))
+        self.vmax = max(self.vmax, float(state["max"]))
+        for key, n in state["buckets"].items():
+            exponent = None if key == "none" else int(key)
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + int(n)
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -18,10 +18,26 @@ JSON export) or :func:`render` (indented text for ``--profile``).
 from __future__ import annotations
 
 import threading
-from time import perf_counter
-from typing import Dict, List, Optional
+from time import perf_counter, time
+from typing import Dict, List, Optional, Tuple
 
 _enabled = False
+
+#: When set (with tracing enabled), every span exit also appends a
+#: wall-clock timeline event ``(name, start_epoch_s, duration_s,
+#: depth)`` to :data:`_events` -- the raw material for Chrome
+#: trace-event export (:mod:`repro.obs.export`).  Epoch time is used
+#: because trace lanes from different processes must share a clock;
+#: the aggregate tree keeps using ``perf_counter`` for precision.
+_capture_events = False
+
+#: Captured timeline events (drained by :func:`drain_events`).
+TraceEvent = Tuple[str, float, float, int]
+_events: List[TraceEvent] = []
+
+#: Span aggregates merged from other processes (shard telemetry);
+#: folded into :func:`aggregates` under their flat names.
+_foreign: Dict[str, Dict[str, float]] = {}
 
 
 class SpanNode:
@@ -75,7 +91,7 @@ def _stack() -> List[SpanNode]:
 class Span:
     """A live (enabled) span; use via :func:`span`."""
 
-    __slots__ = ("name", "_start", "_node")
+    __slots__ = ("name", "_start", "_node", "_wall")
 
     def __init__(self, name: str):
         self.name = name
@@ -84,6 +100,7 @@ class Span:
         stack = _stack()
         self._node = stack[-1].child(self.name)
         stack.append(self._node)
+        self._wall = time() if _capture_events else 0.0
         self._start = perf_counter()
         return self
 
@@ -93,8 +110,11 @@ class Span:
         node.count += 1
         node.total += elapsed
         stack = _stack()
+        depth = len(stack) - 1
         if stack[-1] is node:
             stack.pop()
+        if _capture_events:
+            _events.append((self.name, self._wall, elapsed, depth))
         return False
 
 
@@ -129,11 +149,42 @@ def enabled() -> bool:
     return _enabled
 
 
+def capture_events(on: bool = True) -> None:
+    """Also record wall-clock timeline events per span (implies the
+    tracing cost of two extra clock reads per span)."""
+    global _capture_events
+    _capture_events = on
+    if on and not _enabled:
+        enable()
+
+
+def events_enabled() -> bool:
+    return _capture_events
+
+
+def drain_events() -> List[TraceEvent]:
+    """Return and clear the captured timeline events."""
+    global _events
+    out, _events = _events, []
+    return out
+
+
+def merge_aggregates(flat: Dict[str, Dict[str, float]]) -> None:
+    """Fold another process's flat :func:`aggregates` dict into this
+    one's view (shard telemetry shipping)."""
+    for name, entry in flat.items():
+        mine = _foreign.setdefault(name, {"count": 0, "total_s": 0.0})
+        mine["count"] += entry.get("count", 0)
+        mine["total_s"] += entry.get("total_s", 0.0)
+
+
 def reset() -> None:
-    """Drop all recorded spans (keeps the enabled flag)."""
-    global _root
+    """Drop all recorded spans and events (keeps the enabled flags)."""
+    global _root, _events
     _root = SpanNode("")
     _local.stack = [_root]
+    _events = []
+    _foreign.clear()
 
 
 def tree() -> SpanNode:
@@ -160,6 +211,12 @@ def aggregates() -> Dict[str, Dict[str, float]]:
             visit(child)
 
     visit(_root)
+    for name, entry in _foreign.items():
+        mine = merged.setdefault(
+            name, {"count": 0, "total_s": 0.0, "mean_s": 0.0}
+        )
+        mine["count"] += entry["count"]
+        mine["total_s"] += entry["total_s"]
     for entry in merged.values():
         if entry["count"]:
             entry["mean_s"] = entry["total_s"] / entry["count"]

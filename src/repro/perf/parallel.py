@@ -76,6 +76,8 @@ def supervised_find_paths(
     checkpoint: Optional[str] = None,
     resume: Optional[str] = None,
     fault_plan: object = None,
+    progress: bool = False,
+    heartbeat_timeout: Optional[float] = None,
 ) -> SupervisedResult:
     """Run the true-path search sharded across primary inputs, under
     supervision, and return the full
@@ -113,6 +115,8 @@ def supervised_find_paths(
         serial_fallback=serial_fallback,
         checkpoint_path=checkpoint,
         resume_path=resume,
+        progress=progress,
+        heartbeat_timeout=heartbeat_timeout,
     )
     supervisor = ShardSupervisor(
         circuit, charlib, calc_kwargs, finder_kwargs, config,

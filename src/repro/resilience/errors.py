@@ -23,6 +23,7 @@ EXIT_DATAERR = 65       #: malformed input data (netlist, library)
 EXIT_NOINPUT = 66       #: input file missing / unreadable
 EXIT_UNAVAILABLE = 69   #: a required resource (timing arc) is absent
 EXIT_SOFTWARE = 70      #: internal invariant violation
+EXIT_CANTCREAT = 73     #: a requested output file cannot be written
 EXIT_TEMPFAIL = 75      #: shard/worker failure after retries
 EXIT_CONFIG = 78        #: bad configuration (checkpoint mismatch, flags)
 EXIT_INTERRUPTED = 130  #: SIGINT (128 + signal 2)
@@ -62,6 +63,15 @@ class MissingArcFailure(ResilienceError):
     substitution (see :mod:`repro.core.delaycalc`)."""
 
     exit_code = EXIT_UNAVAILABLE
+
+
+class OutputWriteError(ResilienceError):
+    """A user-requested output artifact (``--metrics-json``,
+    ``--trace-json``, ``--json``) could not be written.  The analysis
+    itself succeeded, but silently dropping a requested artifact is a
+    failure: exit ``EX_CANTCREAT`` instead of 0."""
+
+    exit_code = EXIT_CANTCREAT
 
 
 class CheckpointError(ResilienceError):

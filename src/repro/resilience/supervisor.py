@@ -62,8 +62,21 @@ from repro.core.engine import EngineCircuit
 from repro.core.path import TimedPath
 from repro.core.pathfinder import PathFinder, SearchStats
 from repro.netlist.circuit import Circuit
+from repro.obs import export as obs_export
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.aggregate import (
+    RegistryShipper,
+    ShardTelemetry,
+    merge_shard_telemetry,
+    record_resource_usage,
+)
 from repro.obs.logging import get_logger
+from repro.obs.progress import (
+    HeartbeatPublisher,
+    ProgressBoard,
+    ProgressRenderer,
+)
 from repro.resilience.budgets import CompletenessReport, OriginOutcome
 from repro.resilience.checkpoint import (
     CheckpointWriter,
@@ -79,13 +92,17 @@ _log = get_logger("repro.resilience")
 _POLL_SECONDS = 0.05
 
 #: Per-process worker context, set by the pool initializer.
-_WORKER: Optional[Tuple[EngineCircuit, DelayCalculator, Dict, object]] = None
+_WORKER: Optional[Tuple] = None
 
 #: One shard's wire format: paths, SearchStats.as_dict(), delaycalc
 #: counter deltas, per-origin completeness outcome dicts.
 ShardResult = Tuple[
     List[TimedPath], Dict[str, float], Dict[str, int], Dict[str, Dict]
 ]
+
+#: What a pooled shard ships home: the result plus the worker's
+#: registry/span delta (:mod:`repro.obs.aggregate`).
+ShardShipment = Tuple[ShardResult, ShardTelemetry]
 
 #: The delaycalc counters folded across shards into the parent registry.
 DELTA_KEYS = (
@@ -98,22 +115,35 @@ DELTA_KEYS = (
 
 def _init_worker(circuit: Circuit, charlib: CharacterizedLibrary,
                  calc_kwargs: Dict, finder_kwargs: Dict,
-                 fault_plan: object) -> None:
+                 fault_plan: object, obs_config: Dict,
+                 beat_queue: object) -> None:
     # Workers ignore SIGINT: the parent owns interruption, so a Ctrl-C
     # does not spray one KeyboardInterrupt traceback per child.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Mirror the parent's observability switches (a fork inherits them,
+    # a spawn does not) and start this worker's telemetry shipper from
+    # a clean slate: whatever the registry holds now predates the first
+    # shard and must not ship.
+    if obs_config.get("tracing"):
+        obs_tracing.enable()
+    if obs_config.get("events"):
+        obs_tracing.capture_events()
+        obs_tracing.drain_events()
     global _WORKER
     ec = EngineCircuit(circuit)
     calc = DelayCalculator(ec, charlib, **calc_kwargs)
-    _WORKER = (ec, calc, finder_kwargs, fault_plan)
+    shipper = RegistryShipper()
+    shipper.collect("__init__")  # absorb pre-shard registry state
+    _WORKER = (ec, calc, finder_kwargs, fault_plan, shipper, beat_queue)
 
 
 def run_shard(ec: EngineCircuit, calc: DelayCalculator, finder_kwargs: Dict,
-              origins: Sequence[str]) -> ShardResult:
+              origins: Sequence[str],
+              progress: object = None) -> ShardResult:
     """One shard's search, in whatever process this runs in."""
     before = (calc.arc_evaluations, calc.arc_cache_hits,
               calc.arc_cache_misses, calc.arc_substitutions)
-    finder = PathFinder(ec, calc, **finder_kwargs)
+    finder = PathFinder(ec, calc, progress=progress, **finder_kwargs)
     with finder.find_paths(inputs=origins) as stream:
         paths = list(stream)
     deltas = {
@@ -129,11 +159,34 @@ def run_shard(ec: EngineCircuit, calc: DelayCalculator, finder_kwargs: Dict,
     return paths, finder.stats.as_dict(), deltas, outcomes
 
 
-def _search_shard(origin: str, attempt: int) -> ShardResult:
-    ec, calc, finder_kwargs, fault_plan = _WORKER
+def _search_shard(origin: str, attempt: int) -> ShardShipment:
+    ec, calc, finder_kwargs, fault_plan, shipper, beat_queue = _WORKER
     if fault_plan is not None:
         fault_plan.before_shard(origin, attempt, in_worker=True)
-    return run_shard(ec, calc, finder_kwargs, [origin])
+    publisher = (HeartbeatPublisher(beat_queue, origin)
+                 if beat_queue is not None else None)
+    if publisher is not None:
+        publisher.started()
+    try:
+        result = run_shard(ec, calc, finder_kwargs, [origin],
+                           progress=publisher)
+    except Exception:
+        # A failed attempt will be retried elsewhere; absorb whatever
+        # the aborted search already recorded into the shipper baseline
+        # so the *next* shard on this worker does not ship it.
+        shipper.collect(origin)
+        raise
+    record_resource_usage()
+    telemetry = shipper.collect(origin)
+    if publisher is not None:
+        stats = result[1]
+        paths = result[0]
+        publisher.done(
+            extensions=int(stats.get("extensions_tried", 0)),
+            paths=len(paths),
+            best=max((p.worst_arrival for p in paths), default=None),
+        )
+    return result, telemetry
 
 
 @dataclass(frozen=True)
@@ -156,6 +209,14 @@ class SupervisorConfig:
     checkpoint_path: Optional[str] = None
     resume_path: Optional[str] = None
     checkpoint_flush_every: int = 1
+    #: Render a throttled live progress line (origins done/total,
+    #: extensions, best bound, ETA) on stderr.
+    progress: bool = False
+    #: Treat a pooled shard whose *heartbeat* goes silent this long as
+    #: hung (pool teardown + retry, like a deadline expiry) -- unlike
+    #: ``shard_timeout`` this distinguishes a stalled shard from a
+    #: merely slow one, which keeps beating.  None disables.
+    heartbeat_timeout: Optional[float] = None
 
 
 @dataclass
@@ -184,7 +245,12 @@ class _Shard:
     result: Optional[ShardResult] = None
     status: str = "pending"
     deadline: Optional[float] = None
+    submitted_at: Optional[float] = None
     fallback_error: Optional[str] = None
+    #: Metrics for this shard already landed in the parent registry
+    #: (telemetry merge for pooled shards, direct publication for
+    #: in-process ones); the merge must not publish them again.
+    published: bool = False
 
 
 class ShardSupervisor:
@@ -215,12 +281,15 @@ class ShardSupervisor:
         self._calc: Optional[DelayCalculator] = None
         self._completed_count = 0
         self._writer: Optional[CheckpointWriter] = None
+        self._board: Optional[ProgressBoard] = None
+        self._beat_queue = None  # manager-queue proxy (pooled + board)
         # Shards caught in a pool break whose blame was ambiguous; run
         # one at a time until the crasher identifies itself solo.
         self._suspects: set = set()
         self.metrics = {
             "worker_crashes": 0,
             "shard_timeouts": 0,
+            "heartbeat_stalls": 0,
             "shard_retries": 0,
             "serial_fallbacks": 0,
         }
@@ -244,6 +313,9 @@ class ShardSupervisor:
     def run(self, origins: Sequence[str]) -> SupervisedResult:
         shards = [_Shard(index, origin)
                   for index, origin in enumerate(origins)]
+        if self.config.progress or self.config.heartbeat_timeout is not None:
+            renderer = ProgressRenderer() if self.config.progress else None
+            self._board = ProgressBoard(len(shards), renderer=renderer)
         fingerprint = config_fingerprint(
             self.circuit.name, list(origins),
             {**self.finder_kwargs, **self.calc_kwargs,
@@ -261,6 +333,11 @@ class ShardSupervisor:
                 if shard.result is not None:
                     self._record_checkpoint(shard)
 
+        if self._board is not None:
+            for shard in shards:
+                if shard.result is not None:  # adopted from the resume
+                    self._board.mark_done(shard.origin,
+                                          paths=len(shard.result[0]))
         pending = [s for s in shards if s.result is None]
         interrupted = False
         try:
@@ -274,6 +351,8 @@ class ShardSupervisor:
         finally:
             if self._writer is not None:
                 self._writer.flush()
+            if self._board is not None:
+                self._board.close()
 
         result = self._merge(shards, resumed, interrupted)
         if interrupted:
@@ -317,14 +396,34 @@ class ShardSupervisor:
             return
         paths, stats, deltas, outcomes = shard.result
         self._writer.record(shard.origin, shard.status, paths, stats, deltas)
+        obs_export.instant("resilience.checkpoint_write",
+                           origin=shard.origin, status=shard.status)
 
     # ------------------------------------------------------------------
-    def _finish_shard(self, shard: _Shard, result: ShardResult) -> None:
+    def _finish_shard(self, shard: _Shard, result: ShardResult,
+                      telemetry: Optional[ShardTelemetry] = None,
+                      in_process: bool = False) -> None:
         self._suspects.discard(shard)
         shard.result = result
+        if telemetry is not None:
+            # Pooled shard: fold the worker's registry/span delta into
+            # this process's registry (counters add, histograms merge,
+            # gauges keep a shard label, trace events land on the
+            # worker's lane).
+            merge_shard_telemetry(telemetry)
+            shard.published = True
+        elif in_process:
+            # The in-process search already published straight into
+            # this registry at stream close.
+            shard.published = True
         outcome = result[3].get(shard.origin)
         shard.status = outcome["status"] if outcome else "complete"
         self._completed_count += 1
+        if self._board is not None and telemetry is None:
+            self._board.mark_done(
+                shard.origin, paths=len(result[0]),
+                extensions=int(result[1].get("extensions_tried", 0)),
+            )
         self._record_checkpoint(shard)
         if (self.fault_plan is not None
                 and getattr(self.fault_plan, "interrupt_after", None)
@@ -343,6 +442,8 @@ class ShardSupervisor:
             {shard.origin: OriginOutcome(shard.origin, "failed").as_dict()},
         )
         self._completed_count += 1
+        if self._board is not None:
+            self._board.mark_done(shard.origin)
         self._record_checkpoint(shard)
         _log.error("supervisor.shard_failed", origin=shard.origin,
                    attempts=shard.attempts, reason=reason)
@@ -357,16 +458,29 @@ class ShardSupervisor:
             shard.attempts += 1
             self._finish_shard(
                 shard,
-                run_shard(ec, calc, self.finder_kwargs, [shard.origin]),
+                run_shard(ec, calc, self.finder_kwargs, [shard.origin],
+                          progress=self._local_progress(shard.origin)),
+                in_process=True,
             )
+
+    def _local_progress(self, origin: str) -> Optional[HeartbeatPublisher]:
+        """In-process shards beat straight into the board, no queue."""
+        if self._board is None:
+            return None
+        return HeartbeatPublisher(self._board.update, origin)
 
     # ------------------------------------------------------------------
     def _make_pool(self) -> ProcessPoolExecutor:
+        obs_config = {
+            "tracing": obs_tracing.enabled(),
+            "events": obs_tracing.events_enabled(),
+        }
         return ProcessPoolExecutor(
             max_workers=self.config.jobs,
             initializer=_init_worker,
             initargs=(self.circuit, self.charlib, self.calc_kwargs,
-                      self.finder_kwargs, self.fault_plan),
+                      self.finder_kwargs, self.fault_plan, obs_config,
+                      self._beat_queue),
         )
 
     @staticmethod
@@ -384,6 +498,12 @@ class ShardSupervisor:
         queue: Deque[_Shard] = deque(pending)
         in_flight: Dict[Future, _Shard] = {}
         retry_at: List[Tuple[float, _Shard]] = []
+        manager = None
+        if self._board is not None:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            self._beat_queue = manager.Queue()
         pool = self._make_pool()
         try:
             while queue or in_flight or retry_at:
@@ -411,10 +531,15 @@ class ShardSupervisor:
                     future = pool.submit(_search_shard, shard.origin,
                                          shard.attempts)
                     shard.attempts += 1
+                    shard.submitted_at = time.monotonic()
                     shard.deadline = (
-                        time.monotonic() + config.shard_timeout
+                        shard.submitted_at + config.shard_timeout
                         if config.shard_timeout is not None else None
                     )
+                    if self._board is not None:
+                        # A stale beat from a previous attempt must not
+                        # mask a silent retry.
+                        self._board.last_beat.pop(shard.origin, None)
                     in_flight[future] = shard
                 if not in_flight:
                     # Only backed-off retries remain: sleep to the next.
@@ -426,12 +551,13 @@ class ShardSupervisor:
                     continue
                 done, _ = wait(list(in_flight), timeout=_POLL_SECONDS,
                                return_when=FIRST_COMPLETED)
+                self._drain_beats()
                 pool_broken = False
                 broken: List[_Shard] = []
                 for future in done:
                     shard = in_flight.pop(future)
                     try:
-                        result = future.result()
+                        result, telemetry = future.result()
                     except BrokenProcessPool:
                         broken.append(shard)
                         pool_broken = True
@@ -446,7 +572,8 @@ class ShardSupervisor:
                                      attempt=shard.attempts, error=str(exc))
                         self._requeue(shard, queue, retry_at)
                     else:
-                        self._finish_shard(shard, result)
+                        self._finish_shard(shard, result,
+                                           telemetry=telemetry)
                 if pool_broken:
                     # A dead worker poisons every in-flight future with
                     # the same BrokenProcessPool, so the executor cannot
@@ -457,6 +584,9 @@ class ShardSupervisor:
                     casualties = broken + list(in_flight.values())
                     in_flight.clear()
                     self.metrics["worker_crashes"] += 1
+                    obs_export.instant(
+                        "resilience.worker_crash",
+                        origins=",".join(s.origin for s in casualties))
                     _log.warning(
                         "supervisor.worker_crash",
                         origins=",".join(s.origin for s in casualties))
@@ -477,13 +607,37 @@ class ShardSupervisor:
                     (future, shard) for future, shard in in_flight.items()
                     if shard.deadline is not None and now > shard.deadline
                 ]
+                for _future, shard in expired:
+                    self.metrics["shard_timeouts"] += 1
+                    obs_export.instant("resilience.shard_timeout",
+                                       origin=shard.origin,
+                                       attempt=shard.attempts)
+                    _log.warning("supervisor.shard_timeout",
+                                 origin=shard.origin,
+                                 attempt=shard.attempts,
+                                 timeout=config.shard_timeout)
+                # Heartbeat sweep: a shard whose beats went silent is
+                # stalled (a slow one keeps beating); same teardown.
+                if (config.heartbeat_timeout is not None
+                        and self._board is not None):
+                    flagged = {shard for _f, shard in expired}
+                    for future, shard in in_flight.items():
+                        if shard in flagged:
+                            continue
+                        age = self._board.beat_age(shard.origin)
+                        if age is None and shard.submitted_at is not None:
+                            age = now - shard.submitted_at
+                        if age is not None and age > config.heartbeat_timeout:
+                            expired.append((future, shard))
+                            self.metrics["heartbeat_stalls"] += 1
+                            obs_export.instant(
+                                "resilience.heartbeat_stall",
+                                origin=shard.origin, silent_s=round(age, 3))
+                            _log.warning("supervisor.heartbeat_stall",
+                                         origin=shard.origin,
+                                         attempt=shard.attempts,
+                                         silent_s=age)
                 if expired:
-                    for _future, shard in expired:
-                        self.metrics["shard_timeouts"] += 1
-                        _log.warning("supervisor.shard_timeout",
-                                     origin=shard.origin,
-                                     attempt=shard.attempts,
-                                     timeout=config.shard_timeout)
                     expired_shards = {shard for _f, shard in expired}
                     for future, shard in list(in_flight.items()):
                         if shard in expired_shards:
@@ -499,6 +653,21 @@ class ShardSupervisor:
             raise
         else:
             pool.shutdown()
+        finally:
+            self._drain_beats()
+            if manager is not None:
+                self._beat_queue = None
+                manager.shutdown()
+
+    def _drain_beats(self) -> None:
+        if self._beat_queue is None or self._board is None:
+            return
+        while True:
+            try:
+                beat = self._beat_queue.get_nowait()
+            except Exception:  # queue.Empty, or a torn-down manager
+                break
+            self._board.update(beat)
 
     def _requeue(self, shard: _Shard, queue: Deque[_Shard],
                  retry_at: List[Tuple[float, _Shard]]) -> None:
@@ -507,6 +676,8 @@ class ShardSupervisor:
         self._suspects.discard(shard)  # blame assigned: quarantine over
         if shard.attempts <= self.config.shard_retries:
             self.metrics["shard_retries"] += 1
+            obs_export.instant("resilience.shard_retry",
+                               origin=shard.origin, attempt=shard.attempts)
             backoff = self.config.retry_backoff * (2 ** (shard.attempts - 1))
             if backoff > 0:
                 retry_at.append((time.monotonic() + backoff, shard))
@@ -515,13 +686,17 @@ class ShardSupervisor:
             return
         if self.config.serial_fallback:
             self.metrics["serial_fallbacks"] += 1
+            obs_export.instant("resilience.serial_fallback",
+                               origin=shard.origin, attempts=shard.attempts)
             _log.warning("supervisor.serial_fallback", origin=shard.origin,
                          attempts=shard.attempts)
             ec, calc = self._in_process_context()
             try:
                 self._finish_shard(
                     shard,
-                    run_shard(ec, calc, self.finder_kwargs, [shard.origin]),
+                    run_shard(ec, calc, self.finder_kwargs, [shard.origin],
+                              progress=self._local_progress(shard.origin)),
+                    in_process=True,
                 )
             except KeyboardInterrupt:
                 raise
@@ -541,6 +716,14 @@ class ShardSupervisor:
         max_paths = self.finder_kwargs.get("max_paths")
         paths: List[TimedPath] = []
         merged = SearchStats()
+        # Shards whose metrics never reached this registry -- adopted
+        # from a resume checkpoint, or recorded as failed -- are
+        # published here from their checkpointed stats/deltas.  Pooled
+        # shards arrived via telemetry shipping and in-process shards
+        # published at stream close; re-publishing either would double
+        # count (which the old unconditional publish did for every
+        # supervised serial run).
+        unpublished = SearchStats()
         totals: Dict[str, int] = {key: 0 for key in DELTA_KEYS}
         completeness = CompletenessReport()
         for shard in shards:
@@ -553,15 +736,17 @@ class ShardSupervisor:
             if max_paths is None or len(paths) < max_paths:
                 paths.extend(shard_paths)
             merged.merge(stats_dict)
-            for key, value in deltas.items():
-                totals[key] = totals.get(key, 0) + value
+            if not shard.published:
+                unpublished.merge(stats_dict)
+                for key, value in deltas.items():
+                    totals[key] = totals.get(key, 0) + value
             for name, outcome in outcomes.items():
                 completeness.origins[name] = OriginOutcome.from_dict(outcome)
         if max_paths is not None:
             del paths[max_paths:]
 
         name = self.circuit.name
-        merged.publish(name)
+        unpublished.publish(name)
         registry = obs_metrics.REGISTRY
         for key in DELTA_KEYS:
             value = totals.get(key, 0)

@@ -1,0 +1,191 @@
+"""Unit tests for cross-process telemetry shipping (repro.obs.aggregate).
+
+The shard-level end-to-end equivalence (serial snapshot == --jobs N
+snapshot) lives in test_obs_parallel_equivalence.py; this module pins
+the shipper/merge building blocks: delta semantics, histogram state
+round-trips, gauge labeling, fork-inheritance hygiene, and the
+resource-usage gauges.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs.aggregate import (
+    RegistryShipper,
+    ShardTelemetry,
+    merge_shard_telemetry,
+    record_resource_usage,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistryShipper:
+    def test_counter_deltas_ship_once(self, registry):
+        shipper = RegistryShipper(registry)
+        registry.counter("work.units").inc(5)
+        first = shipper.collect("I0")
+        registry.counter("work.units").inc(3)
+        second = shipper.collect("I1")
+
+        assert ("counter", "work.units", (), 5) in first.metrics
+        assert ("counter", "work.units", (), 3) in second.metrics
+
+    def test_unchanged_counter_not_reshipped(self, registry):
+        shipper = RegistryShipper(registry)
+        registry.counter("work.units").inc(5)
+        shipper.collect("I0")
+        empty = shipper.collect("I1")
+        assert empty.metrics == []
+
+    def test_baseline_collect_absorbs_preexisting_state(self, registry):
+        registry.counter("inherited.from.parent").inc(100)
+        shipper = RegistryShipper(registry)
+        shipper.collect("__init__")
+        registry.counter("inherited.from.parent").inc(2)
+        delta = shipper.collect("I0")
+        assert delta.metrics == [
+            ("counter", "inherited.from.parent", (), 2)
+        ]
+
+    def test_labels_ride_along(self, registry):
+        shipper = RegistryShipper(registry)
+        shipper.collect("__init__")
+        registry.counter("work.units", circuit="c432").inc(7)
+        delta = shipper.collect("I0")
+        assert delta.metrics == [
+            ("counter", "work.units", (("circuit", "c432"),), 7)
+        ]
+
+    def test_histogram_delta_is_bucket_exact(self, registry):
+        shipper = RegistryShipper(registry)
+        hist = registry.histogram("lat.s")
+        hist.observe(1.5)
+        shipper.collect("I0")
+        hist.observe(3.0)
+        hist.observe(100.0)
+        delta = shipper.collect("I1")
+
+        (kind, name, _labels, payload), = delta.metrics
+        assert (kind, name) == ("histogram", "lat.s")
+        assert payload["count"] == 2
+        assert payload["total"] == pytest.approx(103.0)
+        assert sum(payload["buckets"].values()) == 2
+
+    def test_untouched_gauge_not_shipped_touched_gauge_is(self, registry):
+        """A forked worker inherits parent gauges; only gauges this
+        process wrote since the baseline may ship (version counter,
+        not value comparison -- rewriting the same value still ships)."""
+        registry.gauge("inherited", shard="I9").set(123)
+        shipper = RegistryShipper(registry)
+        shipper.collect("__init__")
+
+        registry.gauge("touched").set(7)
+        delta = shipper.collect("I0")
+        names = [name for _kind, name, _l, _p in delta.metrics]
+        assert names == ["touched"]
+
+        # Same value set again: still a write, still ships.
+        registry.gauge("touched").set(7)
+        again = shipper.collect("I1")
+        assert [n for _k, n, _l, _p in again.metrics] == ["touched"]
+
+    def test_span_aggregate_deltas(self, registry, clean_obs):
+        from repro.obs import tracing
+
+        tracing.enable()
+        with tracing.span("unit.work"):
+            pass
+        shipper = RegistryShipper(registry)
+        first = shipper.collect("I0")
+        assert first.spans["unit.work"]["count"] == 1
+        with tracing.span("unit.work"):
+            pass
+        second = shipper.collect("I1")
+        assert second.spans["unit.work"]["count"] == 1
+
+
+class TestMergeShardTelemetry:
+    def test_counters_add(self, registry):
+        telemetry = ShardTelemetry(origin="I0", pid=1234, metrics=[
+            ("counter", "work.units", (), 5),
+            ("counter", "work.units", (("circuit", "x"),), 5),
+        ])
+        merge_shard_telemetry(telemetry, registry)
+        merge_shard_telemetry(telemetry, registry)
+        assert registry.counter("work.units").value == 10
+        assert registry.counter("work.units", circuit="x").value == 10
+
+    def test_gauges_keep_shard_label(self, registry):
+        for origin, value in (("I0", 10), ("I1", 20)):
+            merge_shard_telemetry(ShardTelemetry(
+                origin=origin, pid=1,
+                metrics=[("gauge", "run.peak_rss_bytes", (), value)],
+            ), registry)
+        snap = registry.snapshot()
+        assert snap["run.peak_rss_bytes{shard=I0}"] == 10
+        assert snap["run.peak_rss_bytes{shard=I1}"] == 20
+
+    def test_inherited_shard_label_is_overridden(self, registry):
+        """A respawned worker can ship a gauge that already carries a
+        shard label from the fork; the merge must not crash and must
+        re-label it with the shipping shard's origin."""
+        telemetry = ShardTelemetry(
+            origin="I5", pid=1,
+            metrics=[("gauge", "run.cpu_seconds",
+                      (("shard", "I0"),), 2.5)],
+        )
+        merge_shard_telemetry(telemetry, registry)
+        assert registry.snapshot()["run.cpu_seconds{shard=I5}"] == 2.5
+
+    def test_histogram_merge_matches_single_observer(self, registry):
+        one = Histogram("lat.s", {})
+        for v in (0.5, 1.5, 3.0):
+            one.observe(v)
+        other = Histogram("lat.s", {})
+        for v in (100.0, 0.25):
+            other.observe(v)
+
+        merged = registry.histogram("lat.s")
+        merged.merge_state(one.state())
+        merged.merge_state(other.state())
+
+        reference = Histogram("lat.s", {})
+        for v in (0.5, 1.5, 3.0, 100.0, 0.25):
+            reference.observe(v)
+        assert merged.as_value() == reference.as_value()
+
+    def test_empty_histogram_state_merges_as_noop(self, registry):
+        merged = registry.histogram("lat.s")
+        merged.observe(1.0)
+        before = merged.as_value()
+        merged.merge_state(Histogram("lat.s", {}).state())
+        assert merged.as_value() == before
+
+
+class TestRecordResourceUsage:
+    def test_gauges_are_stamped_and_sane(self, registry):
+        values = record_resource_usage(registry)
+        assert values["run.peak_rss_bytes"] > 1024 * 1024  # > 1 MiB
+        assert values["run.cpu_seconds"] > 0
+        snap = registry.snapshot()
+        assert snap["run.peak_rss_bytes"] == values["run.peak_rss_bytes"]
+        assert snap["run.cpu_seconds"] == values["run.cpu_seconds"]
+
+    def test_shippable_through_telemetry(self, registry):
+        worker = MetricsRegistry()
+        shipper = RegistryShipper(worker)
+        shipper.collect("__init__")
+        record_resource_usage(worker)
+        delta = shipper.collect("I3")
+        merge_shard_telemetry(delta, registry)
+        snap = registry.snapshot()
+        assert snap["run.peak_rss_bytes{shard=I3}"] > 0
+        assert delta.pid == os.getpid()

@@ -1,0 +1,178 @@
+"""Metrics-snapshot diffing and the regression gate (repro.obs.diff +
+the ``repro obs diff`` CLI subcommand)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    DiffEntry,
+    EXIT_REGRESSION,
+    diff_snapshots,
+    flatten,
+    parse_fail_rule,
+    violations,
+)
+from repro.resilience.errors import EXIT_CANTCREAT, EXIT_CONFIG
+
+
+class TestFlatten:
+    def test_scalars_pass_through(self):
+        assert flatten({"pathfinder.conflicts": 3}) == \
+            {"pathfinder.conflicts": 3.0}
+
+    def test_histograms_expand_per_field(self):
+        flat = flatten({"delaycalc.arc_s": {"count": 2, "p95": 0.5}})
+        assert flat == {"delaycalc.arc_s.count": 2.0,
+                        "delaycalc.arc_s.p95": 0.5}
+
+    def test_spans_get_their_prefix(self):
+        flat = flatten({"spans": {"pathfinder.justify":
+                                  {"count": 4, "total_s": 0.25}}})
+        assert flat == {"spans.pathfinder.justify.count": 4.0,
+                        "spans.pathfinder.justify.total_s": 0.25}
+
+    def test_non_numeric_fields_dropped(self):
+        assert flatten({"run.host": "ci-box", "ok": True}) == {}
+
+
+class TestDiffEntries:
+    def test_pct_of_plain_growth(self):
+        entry = DiffEntry("k", 100.0, 110.0)
+        assert entry.pct == pytest.approx(10.0)
+        assert entry.delta == pytest.approx(10.0)
+
+    def test_zero_baseline_growth_has_no_pct(self):
+        assert DiffEntry("k", 0.0, 5.0).pct is None
+        assert DiffEntry("k", 0.0, 0.0).pct == 0.0
+
+    def test_new_and_gone_keys(self):
+        new = DiffEntry("k", None, 5.0)
+        gone = DiffEntry("k", 5.0, None)
+        assert "new" in new.describe()
+        assert "gone" in gone.describe()
+
+    def test_diff_snapshots_union_of_keys(self):
+        entries = diff_snapshots({"a": 1, "b": 2}, {"b": 3, "c": 4})
+        assert [e.key for e in entries] == ["a", "b", "c"]
+
+
+class TestFailRules:
+    def test_parse_and_threshold(self):
+        rule = parse_fail_rule("pathfinder\\.:10")
+        assert rule.threshold_pct == 10.0
+        assert rule.violated_by(DiffEntry("pathfinder.conflicts", 100, 111))
+        assert not rule.violated_by(DiffEntry("pathfinder.conflicts",
+                                              100, 110))
+        assert not rule.violated_by(DiffEntry("delaycalc.evals", 100, 200))
+
+    def test_regex_may_contain_colons(self):
+        rule = parse_fail_rule("a:b:5")
+        assert rule.pattern.pattern == "a:b"
+
+    def test_unbounded_growth_trips(self):
+        rule = parse_fail_rule(".*:50")
+        assert rule.violated_by(DiffEntry("k", 0.0, 1.0))
+        assert rule.violated_by(DiffEntry("k", None, 1.0))
+        assert not rule.violated_by(DiffEntry("k", 1.0, None))
+
+    def test_decrease_never_trips(self):
+        rule = parse_fail_rule(".*:0")
+        assert not rule.violated_by(DiffEntry("k", 100, 50))
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            parse_fail_rule("no-threshold")
+        with pytest.raises(ValueError):
+            parse_fail_rule("key:notanumber")
+
+    def test_violations_pairs_entry_with_rule(self):
+        rules = [parse_fail_rule("a:0"), parse_fail_rule("b:0")]
+        entries = [DiffEntry("a.x", 1, 2), DiffEntry("b.y", 1, 1)]
+        out = violations(entries, rules)
+        assert [(e.key, r.pattern.pattern) for e, r in out] == [("a.x", "a")]
+
+
+@pytest.fixture
+def snapshots(tmp_path):
+    before = tmp_path / "before.json"
+    after = tmp_path / "after.json"
+    before.write_text(json.dumps({
+        "pathfinder.extensions_tried": 1000,
+        "delaycalc.arc_s": {"count": 10, "p95": 1.0},
+    }))
+    after.write_text(json.dumps({
+        "pathfinder.extensions_tried": 1500,
+        "delaycalc.arc_s": {"count": 10, "p95": 1.0},
+    }))
+    return str(before), str(after)
+
+
+class TestCliObsDiff:
+    def test_clean_diff_exits_zero(self, snapshots, capsys):
+        before, _after = snapshots
+        assert main(["obs", "diff", before, before]) == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_diff_prints_percent_deltas(self, snapshots, capsys):
+        rc = main(["obs", "diff", *snapshots])
+        assert rc == 0  # no --fail-on: informational only
+        out = capsys.readouterr().out
+        assert "pathfinder.extensions_tried" in out
+        assert "+50.0%" in out
+
+    def test_fail_on_trips_with_exit_4(self, snapshots, capsys):
+        rc = main(["obs", "diff", *snapshots,
+                   "--fail-on", "pathfinder\\.:10"])
+        assert rc == EXIT_REGRESSION == 4
+        err = capsys.readouterr().err
+        assert "regression" in err
+        assert "pathfinder.extensions_tried" in err
+
+    def test_fail_on_within_threshold_passes(self, snapshots, capsys):
+        rc = main(["obs", "diff", *snapshots,
+                   "--fail-on", "pathfinder\\.:60"])
+        assert rc == 0
+        assert "all --fail-on rules passed" in capsys.readouterr().out
+
+    def test_unmatched_rule_passes(self, snapshots):
+        assert main(["obs", "diff", *snapshots,
+                     "--fail-on", "spans\\.:0"]) == 0
+
+    def test_bad_rule_is_config_error(self, snapshots, capsys):
+        rc = main(["obs", "diff", *snapshots, "--fail-on", "nope"])
+        assert rc == EXIT_CONFIG
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_snapshot_maps_into_taxonomy(self, snapshots, capsys):
+        before, _after = snapshots
+        rc = main(["obs", "diff", before, "/no/such/snapshot.json"])
+        assert rc != 0
+        assert "error:" in capsys.readouterr().err
+
+    def test_filter_limits_output(self, snapshots, capsys):
+        main(["obs", "diff", *snapshots, "--filter", "delaycalc\\."])
+        out = capsys.readouterr().out
+        assert "pathfinder.extensions_tried" not in out
+
+
+class TestMetricsJsonWriteFailure:
+    def test_unwritable_metrics_json_exits_cantcreat(self, capsys,
+                                                     charlib_poly_90,
+                                                     clean_obs):
+        rc = main(["analyze", "iscas:c17",
+                   "--metrics-json", "/no/such/dir/metrics.json"])
+        assert rc == EXIT_CANTCREAT == 73
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "metrics" in err
+
+    def test_unwritable_trace_json_exits_cantcreat(self, capsys,
+                                                   charlib_poly_90,
+                                                   clean_obs):
+        rc = main(["analyze", "iscas:c17",
+                   "--trace-json", "/no/such/dir/trace.json"])
+        assert rc == EXIT_CANTCREAT

@@ -1,0 +1,134 @@
+"""The tentpole acceptance: serial and --jobs N metric snapshots agree.
+
+A ``--jobs N`` run must report the *same* work counters as a serial
+run of the same search -- including when the supervisor recovers
+shards through retries or the in-process serial fallback.  Timing and
+per-process cache fields are excluded by design: wall-clock differs by
+construction, and each worker process pays its own arc-cache cold
+misses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import load_circuit
+from repro.core.sta import TruePathSTA
+from repro.perf.parallel import supervised_find_paths
+from repro.verify.faults import FaultPlan
+
+#: Counters that must match a serial run byte-for-byte (both the bare
+#: and the circuit-labeled copies).
+EXACT_KEYS = (
+    "pathfinder.extensions_tried",
+    "pathfinder.paths_found",
+    "pathfinder.conflicts",
+    "pathfinder.justification_backtracks",
+    "delaycalc.arc_evaluations",
+)
+
+
+def exact_counters(snapshot):
+    return {key: value for key, value in snapshot.items()
+            if key.split("{")[0] in EXACT_KEYS}
+
+
+@pytest.fixture(scope="module")
+def c432():
+    return load_circuit("iscas:c432@0.1")
+
+
+@pytest.fixture()
+def serial_baseline(c432, charlib_poly_90, clean_obs):
+    """Counters of a plain (unsupervised) serial enumeration."""
+    TruePathSTA(c432, charlib_poly_90).enumerate_paths()
+    baseline = exact_counters(obs.snapshot())
+    assert baseline["pathfinder.extensions_tried"] > 0
+    obs.reset()
+    return baseline
+
+
+class TestSerialParallelEquivalence:
+    def test_jobs4_counters_byte_identical_to_serial(
+            self, c432, charlib_poly_90, serial_baseline):
+        supervised_find_paths(c432, charlib_poly_90, jobs=4)
+        assert exact_counters(obs.snapshot()) == serial_baseline
+
+    def test_supervised_jobs1_matches_plain_serial(
+            self, c432, charlib_poly_90, serial_baseline):
+        """Regression: the supervised in-process path used to publish
+        shard stats twice (at stream close and again in the merge),
+        doubling every counter of a ``--wall-budget``-style serial run."""
+        supervised_find_paths(c432, charlib_poly_90, jobs=1)
+        assert exact_counters(obs.snapshot()) == serial_baseline
+
+    def test_worker_retry_path_ships_each_shard_once(
+            self, c432, charlib_poly_90, serial_baseline):
+        """A crashed worker's partial work is absorbed, and only the
+        successful retry's telemetry lands in the parent registry."""
+        victims = tuple(c432.inputs)[1:3]
+        supervised_find_paths(
+            c432, charlib_poly_90, jobs=2, shard_retries=2,
+            fault_plan=FaultPlan(crash_origins=victims),
+        )
+        snap = obs.snapshot()
+        assert exact_counters(snap) == serial_baseline
+        assert snap["resilience.worker_crashes"] >= 1
+        assert snap["resilience.shard_retries"] >= len(victims)
+
+    def test_serial_fallback_path_publishes_exactly_once(
+            self, c432, charlib_poly_90, serial_baseline):
+        """Retries exhausted -> the shard completes in-process; its
+        stats must be published exactly once (in-process publication,
+        not the merge's checkpoint path)."""
+        victim = tuple(c432.inputs)[0]
+        supervised_find_paths(
+            c432, charlib_poly_90, jobs=2, shard_retries=1,
+            serial_fallback=True,
+            fault_plan=FaultPlan(crash_origins=(victim,),
+                                 crash_attempts=(0, 1)),
+        )
+        snap = obs.snapshot()
+        assert exact_counters(snap) == serial_baseline
+        assert snap["resilience.serial_fallbacks"] == 1
+
+    def test_heartbeat_stall_recovery_keeps_equivalence(
+            self, c432, charlib_poly_90, serial_baseline):
+        """A silently hung shard is detected by heartbeat gap, killed,
+        retried -- and the merged counters still equal serial."""
+        victim = tuple(c432.inputs)[2]
+        supervised_find_paths(
+            c432, charlib_poly_90, jobs=2, heartbeat_timeout=1.5,
+            shard_retries=2, fault_plan=FaultPlan(hang_origins=(victim,)),
+        )
+        snap = obs.snapshot()
+        assert exact_counters(snap) == serial_baseline
+        assert snap["resilience.heartbeat_stalls"] >= 1
+
+    def test_span_aggregates_ship_from_workers(
+            self, c432, charlib_poly_90, clean_obs):
+        """Worker span trees merge into the parent's aggregates: the
+        search spans report one count per shard, not zero."""
+        obs.tracing.enable()
+        supervised_find_paths(c432, charlib_poly_90, jobs=2)
+        aggregates = obs.tracing.aggregates()
+        search_spans = {name: entry for name, entry in aggregates.items()
+                        if "pathfinder" in name or "search" in name}
+        assert search_spans, f"no search spans shipped: {aggregates.keys()}"
+        assert all(entry["count"] > 0 for entry in search_spans.values())
+
+
+class TestPerShardGauges:
+    def test_resource_gauges_labeled_per_shard(
+            self, c432, charlib_poly_90, clean_obs):
+        supervised_find_paths(c432, charlib_poly_90, jobs=2)
+        snap = obs.snapshot()
+        rss = {key for key in snap
+               if key.startswith("run.peak_rss_bytes{shard=")}
+        cpu = {key for key in snap
+               if key.startswith("run.cpu_seconds{shard=")}
+        origins = set(c432.inputs)
+        assert {key.split("shard=")[1].rstrip("}") for key in rss} == origins
+        assert {key.split("shard=")[1].rstrip("}") for key in cpu} == origins
+        assert all(snap[key] > 0 for key in rss | cpu)
