@@ -1,0 +1,99 @@
+"""Vectorized SoA timing core vs the scalar traversal it replaces.
+
+Times the forward worst-arrival pass and the backward required-bound
+construction (``prune_bounds``) with ``vectorize`` off and on, on a
+mid-size and the largest ISCAS circuit.  The vectorized sweeps promise
+byte identity, so the equivalence asserts here are exact -- the only
+thing allowed to change is the clock.  The snapshot carries the
+``tgraph.forward_pass_ms``/``tgraph.backward_pass_ms`` histograms next
+to the measured speedups for the ``repro obs diff`` trajectory.
+"""
+
+import time
+
+import pytest
+
+from repro.core.delaycalc import DelayCalculator
+from repro.core.engine import EngineCircuit
+from repro.eval.iscas import build_circuit
+
+CIRCUITS = ["c1355", "c7552"]
+
+
+def _run(circuit, charlib, vectorize):
+    calc = DelayCalculator(
+        EngineCircuit(circuit), charlib, vectorize=vectorize)
+    start = time.perf_counter()
+    forward = calc.ec.tgraph.forward_arrivals(calc)
+    forward_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    bounds = calc.prune_bounds()
+    backward_seconds = time.perf_counter() - start
+    return forward, bounds, forward_seconds, backward_seconds
+
+
+@pytest.fixture(scope="module")
+def sweep(poly90):
+    rows = []
+    for name in CIRCUITS:
+        circuit = build_circuit(name)
+        ft_s, pb_s, fwd_s, bwd_s = _run(circuit, poly90, vectorize=False)
+        ft_v, pb_v, fwd_v, bwd_v = _run(circuit, poly90, vectorize=True)
+        # Byte identity, not tolerance: the SoA sweeps replay the same
+        # IEEE operations the scalar loops perform.
+        assert ft_s.arrivals == ft_v.arrivals
+        assert ft_s.slews == ft_v.slews
+        assert pb_s.required == pb_v.required
+        assert pb_s.suffix == pb_v.suffix
+        rows.append({
+            "circuit": name,
+            "gates": len(circuit.instances),
+            "forward_scalar_ms": fwd_s * 1e3,
+            "forward_vectorized_ms": fwd_v * 1e3,
+            "forward_speedup": fwd_s / max(fwd_v, 1e-9),
+            "backward_scalar_ms": bwd_s * 1e3,
+            "backward_vectorized_ms": bwd_v * 1e3,
+            "backward_speedup": bwd_s / max(bwd_v, 1e-9),
+        })
+    return rows
+
+
+def test_vectorized_passes_byte_identical_and_faster(
+        benchmark, poly90, sweep, bench_snapshot):
+    def rerun_vectorized():
+        circuit = build_circuit(CIRCUITS[0])
+        return _run(circuit, poly90, vectorize=True)
+
+    benchmark.pedantic(rerun_vectorized, rounds=1, iterations=1)
+
+    by_name = {row["circuit"]: row for row in sweep}
+    # The issue's acceptance floor is 10x on c7552's backward pass;
+    # assert a conservative 2x here so shared CI runners cannot flake
+    # the gate while still catching a de-vectorization regression.
+    assert by_name["c7552"]["backward_speedup"] >= 2.0
+
+    benchmark.extra_info["rows"] = sweep
+    bench_snapshot("vectorized", {"rows": sweep})
+
+
+def test_compiled_tables_ship_once(benchmark, poly90, bench_snapshot):
+    """Exporting the compiled tables costs one sweep; seeding a second
+    calculator from them costs effectively nothing."""
+    circuit = build_circuit("c1355")
+
+    def export_and_seed():
+        parent = DelayCalculator(
+            EngineCircuit(circuit), poly90, vectorize=True)
+        tables = parent.export_tables()
+        start = time.perf_counter()
+        child = DelayCalculator(
+            EngineCircuit(circuit), poly90, compiled=tables)
+        bounds = child.prune_bounds()
+        seed_seconds = time.perf_counter() - start
+        assert bounds.required == tables.required
+        return seed_seconds
+
+    seed_seconds = benchmark.pedantic(
+        export_and_seed, rounds=1, iterations=1)
+    benchmark.extra_info["seed_seconds"] = seed_seconds
+    bench_snapshot("vectorized_seed", {"seed_seconds": seed_seconds})

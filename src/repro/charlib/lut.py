@@ -70,7 +70,14 @@ class LutModel:
     def evaluate_many(self, points: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`evaluate` over ``(n, 4)`` rows of
         ``(fo, t_in, temp, vdd)`` -- same variable order as
-        :meth:`PolynomialModel.evaluate_many <repro.charlib.polynomial.PolynomialModel.evaluate_many>`."""
+        :meth:`PolynomialModel.evaluate_many <repro.charlib.polynomial.PolynomialModel.evaluate_many>`.
+
+        Row ``i`` is bitwise-equal to ``evaluate(*points[i])`` (the
+        :class:`~repro.charlib.model.DelayModel` batch-equivalence
+        law): searchsorted bracketing, clamped weights, the bilinear
+        expression tree and the derate factor are the same elementwise
+        operations in the same order as the scalar path.
+        """
         points = np.asarray(points, dtype=float)
         fo, t_in, temp, vdd = points.T
         i = np.clip(np.searchsorted(self.t_in_axis, t_in) - 1, 0,

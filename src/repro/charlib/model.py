@@ -8,10 +8,26 @@ interchangeable behind :class:`DelayModel`:
 
 * ``evaluate(fo, t_in, temp, vdd)`` -- one point, in seconds;
 * ``evaluate_many(points)`` -- a batch of ``(fo, t_in, temp, vdd)``
-  rows (the bound sweeps in :mod:`repro.core.delaycalc` maximize over
-  the achievable-slew domain in one call);
+  rows (the bound sweeps in :mod:`repro.core.delaycalc` and the
+  structure-of-arrays timing sweeps in :mod:`repro.core.tarrays`
+  evaluate whole level/model groups in one call);
 * ``to_dict()`` / ``from_dict`` -- JSON persistence, dispatched through
   :data:`MODEL_KINDS`.
+
+**The batch-equivalence law.**  ``evaluate_many`` must be *row
+independent* and *bitwise-equal* to the scalar evaluator:
+``evaluate_many(points)[i] == evaluate(*points[i])`` exactly, for any
+batch composition.  The vectorized timing core relies on it to produce
+byte-identical arrivals, slews and pruning bounds whether a model is
+evaluated one traversal at a time (scalar engines, ``--no-vectorize``)
+or once per (level, model group).  Implementations must therefore
+replay the scalar operation sequence elementwise (see
+:meth:`PolynomialModel._power_ladder
+<repro.charlib.polynomial.PolynomialModel._power_ladder>`) rather than
+reassociating the arithmetic (e.g. a BLAS ``design @ coeffs`` product
+is *not* bitwise-equal to sequential accumulation).
+``tests/test_core_tarrays.py`` pins the law for both built-in
+families.
 
 New model families register their ``kind`` tag in :data:`MODEL_KINDS`
 and automatically work everywhere: arc resolution, the arc cache, the

@@ -99,15 +99,32 @@ class PolynomialModel:
         return cls(orders, solution.reshape(shape), norm)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _power_ladder(x, order: int) -> List:
+        """``[1.0, x, x*x, ...]`` by repeated multiplication.
+
+        Shared by the scalar and batch evaluators: ``x`` may be an
+        ``np.float64`` scalar or a column of points.  Repeated IEEE
+        multiplication is the same elementwise operation either way,
+        which is what makes ``evaluate_many(batch)[i]`` bitwise-equal
+        to ``evaluate(batch[i])`` (``x ** n`` would not be: numpy
+        routes scalar and array integer powers through different pow
+        kernels that can disagree in the last ulp).
+        """
+        powers = [1.0]
+        for _ in range(order):
+            powers.append(powers[-1] * x)
+        return powers
+
     def evaluate(self, fo: float, t_in: float, temp: float, vdd: float) -> float:
         point = np.array([[fo, t_in, temp, vdd]], dtype=float)
         x = self.norm.apply(point)[0]
         acc = 0.0
         # Horner-free direct accumulation; arrays are tiny.
-        pow0 = [x[0] ** i for i in range(self.orders[0] + 1)]
-        pow1 = [x[1] ** j for j in range(self.orders[1] + 1)]
-        pow2 = [x[2] ** k for k in range(self.orders[2] + 1)]
-        pow3 = [x[3] ** l for l in range(self.orders[3] + 1)]
+        pow0 = self._power_ladder(x[0], self.orders[0])
+        pow1 = self._power_ladder(x[1], self.orders[1])
+        pow2 = self._power_ladder(x[2], self.orders[2])
+        pow3 = self._power_ladder(x[3], self.orders[3])
         c = self.coeffs
         for i, p0 in enumerate(pow0):
             for j, p1 in enumerate(pow1):
@@ -117,9 +134,29 @@ class PolynomialModel:
         return float(acc)
 
     def evaluate_many(self, points: np.ndarray) -> np.ndarray:
-        design = self.design_matrix(self.norm.apply(np.asarray(points, float)),
-                                    self.orders)
-        return design @ self.coeffs.reshape(-1)
+        """Batch :meth:`evaluate` over ``(n, 4)`` rows.
+
+        Row ``i`` of the result is bitwise-equal to
+        ``evaluate(*points[i])``: the kernel replays the scalar
+        evaluator's exact operation sequence (power ladder, term
+        product order, term accumulation order) elementwise across
+        rows, so the vectorized timing sweeps in
+        :mod:`repro.core.tarrays` reproduce the scalar engines'
+        results byte for byte (see :class:`repro.charlib.model.DelayModel`).
+        """
+        pts = self.norm.apply(np.asarray(points, dtype=float))
+        pow0 = self._power_ladder(pts[:, 0], self.orders[0])
+        pow1 = self._power_ladder(pts[:, 1], self.orders[1])
+        pow2 = self._power_ladder(pts[:, 2], self.orders[2])
+        pow3 = self._power_ladder(pts[:, 3], self.orders[3])
+        c = self.coeffs
+        acc = np.zeros(pts.shape[0])
+        for i, p0 in enumerate(pow0):
+            for j, p1 in enumerate(pow1):
+                for k, p2 in enumerate(pow2):
+                    for l, p3 in enumerate(pow3):
+                        acc += c[i, j, k, l] * p0 * p1 * p2 * p3
+        return acc
 
     # ------------------------------------------------------------------
     @property

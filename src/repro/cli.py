@@ -178,7 +178,12 @@ def _wants_supervision(args, budgets) -> bool:
 
 
 def _analyze(args) -> int:
+    from repro.resilience.errors import ConfigError
+
+    if args.jobs < 1:
+        raise ConfigError(f"--jobs must be >= 1, got {args.jobs}")
     _setup_obs(args)
+    vectorize = not args.no_vectorize
     circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
     tech = TECHNOLOGIES[args.tech]
     library = default_library()
@@ -187,7 +192,8 @@ def _analyze(args) -> int:
         from repro.core.sta import TruePathSTA
 
         sta = TruePathSTA(circuit, charlib,
-                          missing_arc_policy=args.missing_arc_policy)
+                          missing_arc_policy=args.missing_arc_policy,
+                          vectorize=vectorize)
         budgets = _budgets_from_args(args)
         if _wants_supervision(args, budgets):
             analysis = sta.analyze(
@@ -227,7 +233,7 @@ def _analyze(args) -> int:
         from repro.core.graphsta import GraphSTA, gba_pessimism
         from repro.core.sta import TruePathSTA
 
-        gba = GraphSTA(circuit, charlib).run()
+        gba = GraphSTA(circuit, charlib, vectorize=vectorize).run()
         print(f"GBA endpoint arrivals for {circuit.name} "
               f"({charlib.tech_name}, one topological pass)")
         for endpoint in circuit.outputs:
@@ -239,7 +245,7 @@ def _analyze(args) -> int:
             print(f"  {endpoint:<12s} {cells}")
         paths = []
         if args.compare:
-            sta = TruePathSTA(circuit, charlib)
+            sta = TruePathSTA(circuit, charlib, vectorize=vectorize)
             paths = sta.enumerate_paths(max_paths=args.max_paths,
                                         jobs=args.jobs)
             comparison = gba_pessimism(gba, paths)
@@ -412,11 +418,19 @@ def main(argv: Optional[list] = None) -> int:
     analyze.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="shard the developed tool's search across "
                               "primary inputs in N worker processes")
+    # No argparse choices=: an unknown policy must exit through the
+    # resilience taxonomy (ConfigError, EX_CONFIG=78) with a one-line
+    # message naming the valid values, not argparse's usage dump.
     analyze.add_argument("--missing-arc-policy", default="error",
-                         choices=["error", "warn-substitute"],
+                         metavar="POLICY",
                          help="on a library gap: abort (error) or fall "
                               "back to the nearest characterized arc of "
                               "the same cell (warn-substitute)")
+    analyze.add_argument("--no-vectorize", action="store_true",
+                         help="run the scalar reference sweeps instead "
+                              "of the structure-of-arrays batched "
+                              "kernels (results are byte-identical; "
+                              "this is an escape hatch / A-B switch)")
     analyze.add_argument("--wall-budget", type=float, default=None,
                          metavar="SECONDS",
                          help="anytime mode: stop searching after this "

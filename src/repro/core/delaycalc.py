@@ -18,7 +18,7 @@ the arc delay at a single slew point is not admissible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -29,7 +29,10 @@ from repro.core.engine import EngineCircuit, EngineGate
 from repro.core.tgraph import PruneBounds
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
-from repro.resilience.errors import MissingArcFailure
+from repro.resilience.errors import ConfigError, MissingArcFailure
+
+if TYPE_CHECKING:  # tarrays imports from this module; keep the cycle lazy
+    from repro.core.tarrays import CompiledTables, TimingArrays
 
 _log = get_logger("repro.delaycalc")
 
@@ -88,9 +91,14 @@ class DelayCalculator:
         wire: Optional[WireLoadModel] = None,
         arc_cache: bool = True,
         missing_arc_policy: str = "error",
+        vectorize: bool = True,
+        compiled: Optional["CompiledTables"] = None,
     ):
         if missing_arc_policy not in MISSING_ARC_POLICIES:
-            raise ValueError(
+            # ConfigError (EX_CONFIG) rather than a raw ValueError: a bad
+            # flag value must exit through the resilience taxonomy, not
+            # as an unclassified traceback.
+            raise ConfigError(
                 f"unknown missing-arc policy {missing_arc_policy!r}; "
                 f"expected one of {MISSING_ARC_POLICIES}"
             )
@@ -102,6 +110,11 @@ class DelayCalculator:
         self.vector_blind = vector_blind
         self.wire = wire
         self.missing_arc_policy = missing_arc_policy
+        #: Route the sweep passes (GBA forward, backward required-time
+        #: bound, slew fixed point) through the structure-of-arrays
+        #: compilation in :mod:`repro.core.tarrays`.  Results are byte
+        #: identical to the scalar passes (``--no-vectorize``).
+        self.vectorize = bool(vectorize)
         #: Model evaluations served (plain attribute -- the search loop
         #: is too hot for registry traffic; callers publish the delta
         #: to ``delaycalc.arc_evaluations`` at the end of a run).
@@ -140,6 +153,10 @@ class DelayCalculator:
         self._substitute_cache: Dict[
             Tuple[str, str, str, bool, bool], TimingArc
         ] = {}
+        self._tarrays: Optional["TimingArrays"] = None
+        self._worst_table_complete = False
+        if compiled is not None:
+            self.seed_tables(compiled)
 
     def _nominal_vdd(self) -> float:
         from repro.tech.presets import TECHNOLOGIES
@@ -376,14 +393,17 @@ class DelayCalculator:
         ceiling = max((*grid_slews, self.input_slew, 4 * self.input_slew))
         for _ in range(_SLEW_CEILING_ROUNDS):
             samples = self._slew_samples(grid_slews, ceiling)
-            worst = 0.0
-            for gate in self.ec.gates:
-                fo = self.fo[gate.index]
-                for arc in self.gate_arcs(gate):
-                    peak = _model_max(arc.slew_model, fo, samples, self.temp,
-                                      self.vdd)
-                    if peak > worst:
-                        worst = peak
+            if self.vectorize:
+                worst = self.tarrays.max_slew(samples)
+            else:
+                worst = 0.0
+                for gate in self.ec.gates:
+                    fo = self.fo[gate.index]
+                    for arc in self.gate_arcs(gate):
+                        peak = _model_max(arc.slew_model, fo, samples,
+                                          self.temp, self.vdd)
+                        if peak > worst:
+                            worst = peak
             if worst <= ceiling:
                 break
             # Overshoot so the ceiling brackets the fixed point in a
@@ -495,3 +515,62 @@ class DelayCalculator:
                 suffix=tuple(self.remaining_bounds()),
             )
         return self._prune_bounds
+
+    # ------------------------------------------------------------------
+    @property
+    def tarrays(self) -> "TimingArrays":
+        """Lazy structure-of-arrays compilation of this calculator's
+        timing graph (:class:`~repro.core.tarrays.TimingArrays`)."""
+        if self._tarrays is None:
+            from repro.core.tarrays import TimingArrays
+
+            self._tarrays = TimingArrays(self)
+        return self._tarrays
+
+    def ensure_worst_arc_table(self) -> None:
+        """Batch-fill the whole (gate, pin) worst-arc-delay cache now.
+
+        The pathfinder calls this when it receives shipped pruning
+        bounds but no worst-arc table: its hot loop reads
+        :meth:`worst_arc_delay` per traversal, and without the prefill
+        each first read would fall back to a scalar model sweep.  A
+        no-op in scalar mode (``--no-vectorize`` keeps the lazy
+        per-arc sweeps) and after :meth:`seed_tables`.
+        """
+        if self.vectorize and not self._worst_table_complete:
+            self.tarrays.prefill_worst_arcs()
+            self._worst_table_complete = True
+
+    def export_tables(self) -> "CompiledTables":
+        """Corner-pure derived tables for worker shards
+        (:class:`~repro.core.tarrays.CompiledTables`): the slew fixed
+        point, the complete worst-arc-delay table and both pruning
+        bounds.  Forces the backward pass, so the worst-arc table is
+        complete."""
+        from repro.core.tarrays import CompiledTables
+
+        bounds = self.prune_bounds()
+        return CompiledTables(
+            bound_slews=tuple(self.bound_slews()),
+            worst_arc=dict(self._worst_arc_cache),
+            required=bounds.required,
+            suffix=bounds.suffix,
+        )
+
+    def seed_tables(self, tables: "CompiledTables") -> None:
+        """Adopt a parent calculator's :meth:`export_tables` output.
+
+        Worker shards seed these instead of re-deriving them: the
+        values are byte-identical to what this calculator would have
+        computed (the sweeps are deterministic per circuit + corner),
+        so seeded and self-computed runs are indistinguishable apart
+        from the skipped work.
+        """
+        self._bound_slews = tuple(tables.bound_slews)
+        self._worst_arc_cache.update(tables.worst_arc)
+        self._required_bounds = list(tables.required)
+        self._remaining_bounds = list(tables.suffix)
+        self._prune_bounds = PruneBounds(
+            required=tuple(tables.required), suffix=tuple(tables.suffix)
+        )
+        self._worst_table_complete = True

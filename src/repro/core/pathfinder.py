@@ -294,6 +294,12 @@ class PathFinder:
         self._stream: Optional[PathStream] = None
         if n_worst is not None:
             self._bounds = bounds if bounds is not None else calc.prune_bounds()
+            # The pruning hot loop reads calc.worst_arc_delay per
+            # traversal; with shipped bounds the calculator may not have
+            # swept yet, so batch-fill the whole worst-arc table now
+            # instead of one lazy scalar sweep per first read (no-op in
+            # scalar mode and when the table was seeded or self-built).
+            calc.ensure_worst_arc_table()
 
     # ------------------------------------------------------------------
     def find_paths(

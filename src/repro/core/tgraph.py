@@ -159,12 +159,38 @@ class TimingGraph:
         """One levelized worst-arrival pass (GBA semantics).
 
         Every arc contributes its structurally worst sensitization
-        vector per polarity, with slews propagated from the worst
-        predecessor -- no joint sensitizability check, which is exactly
-        the pessimism the true-path engines remove.  Arcs missing from
-        the characterized library are skipped (they cannot be
-        traversed by any engine either).
+        vector per polarity -- no joint sensitizability check, which is
+        exactly the pessimism the true-path engines remove.  Arrivals
+        and slews are maximized *independently* per output polarity:
+        the propagated slew must be the worst any contributing arc can
+        emit, not the slew of whichever arc happened to arrive latest
+        (a latest-arrival slew can under-estimate downstream delays and
+        break the GBA >= true-path soundness invariant; see
+        ``tests/test_gba_slew_soundness.py``).  A missing library arc
+        raises :class:`~repro.core.delaycalc.MissingArcsError` under
+        the ``error`` policy the moment a reachable polarity traverses
+        it, like every other engine.
+
+        Delegates to the structure-of-arrays sweep
+        (:meth:`TimingArrays.forward_arrivals
+        <repro.core.tarrays.TimingArrays.forward_arrivals>`) when the
+        calculator has vectorization enabled; results are byte
+        identical either way.  Wall-clock is published to the
+        ``tgraph.forward_pass_ms`` histogram.
         """
+        started = time.perf_counter()
+        with span("tgraph.forward_pass"):
+            if getattr(calc, "vectorize", False):
+                timing = calc.tarrays.forward_arrivals()
+            else:
+                timing = self._forward_arrivals_scalar(calc)
+        obs_metrics.REGISTRY.histogram("tgraph.forward_pass_ms").observe(
+            (time.perf_counter() - started) * 1e3
+        )
+        return timing
+
+    def _forward_arrivals_scalar(self, calc: "DelayCalculator") -> ForwardTiming:
+        """Reference arc-at-a-time forward pass (``--no-vectorize``)."""
         ec = self.ec
         n_nets = ec.num_nets
         arrivals: List[List[Optional[float]]] = [[None, None] for _ in range(n_nets)]
@@ -173,33 +199,30 @@ class TimingGraph:
             arrivals[net] = [0.0, 0.0]
             slews[net] = [calc.input_slew, calc.input_slew]
 
-        with span("tgraph.forward_pass"):
-            for gate in ec.gates:  # topological
-                out_arr = arrivals[gate.output_net]
-                out_slew = slews[gate.output_net]
-                for arc in self.fanin[gate.output_net]:
-                    in_arr = arrivals[arc.src_net]
-                    in_slew = slews[arc.src_net]
-                    for option in gate.options[arc.pin]:
-                        vector = option.vector
-                        for in_pol in (0, 1):
-                            if in_arr[in_pol] is None:
-                                continue
-                            input_rising = in_pol == 0
-                            output_rising = input_rising ^ vector.inverting
-                            out_pol = 0 if output_rising else 1
-                            try:
-                                delay, slew = calc.arc_timing(
-                                    gate, arc.pin, vector.vector_id,
-                                    input_rising, output_rising,
-                                    in_slew[in_pol],
-                                )
-                            except KeyError:
-                                continue
-                            arrival = in_arr[in_pol] + delay
-                            if out_arr[out_pol] is None or arrival > out_arr[out_pol]:
-                                out_arr[out_pol] = arrival
-                                out_slew[out_pol] = slew
+        for gate in ec.gates:  # topological
+            out_arr = arrivals[gate.output_net]
+            out_slew = slews[gate.output_net]
+            for arc in self.fanin[gate.output_net]:
+                in_arr = arrivals[arc.src_net]
+                in_slew = slews[arc.src_net]
+                for option in gate.options[arc.pin]:
+                    vector = option.vector
+                    for in_pol in (0, 1):
+                        if in_arr[in_pol] is None:
+                            continue
+                        input_rising = in_pol == 0
+                        output_rising = input_rising ^ vector.inverting
+                        out_pol = 0 if output_rising else 1
+                        delay, slew = calc.arc_timing(
+                            gate, arc.pin, vector.vector_id,
+                            input_rising, output_rising,
+                            in_slew[in_pol],
+                        )
+                        arrival = in_arr[in_pol] + delay
+                        if out_arr[out_pol] is None or arrival > out_arr[out_pol]:
+                            out_arr[out_pol] = arrival
+                        if out_slew[out_pol] is None or slew > out_slew[out_pol]:
+                            out_slew[out_pol] = slew
         return ForwardTiming(arrivals=arrivals, slews=slews)
 
     # ------------------------------------------------------------------
@@ -217,18 +240,25 @@ class TimingGraph:
         suffix sum because an arc's worst delay never exceeds its
         gate's worst delay over all pins.
 
-        Wall-clock is published to the ``tgraph.backward_pass_ms``
-        histogram.
+        Delegates to the structure-of-arrays sweep
+        (:meth:`TimingArrays.backward_required_bounds
+        <repro.core.tarrays.TimingArrays.backward_required_bounds>`)
+        when the calculator has vectorization enabled; results are
+        byte identical either way.  Wall-clock is published to the
+        ``tgraph.backward_pass_ms`` histogram.
         """
         started = time.perf_counter()
         with span("tgraph.backward_pass"):
-            bounds = [0.0] * self.ec.num_nets
-            for gate in reversed(self.ec.gates):
-                downstream = bounds[gate.output_net]
-                for arc in self.fanin[gate.output_net]:
-                    through = calc.worst_arc_delay(gate, arc.pin) + downstream
-                    if through > bounds[arc.src_net]:
-                        bounds[arc.src_net] = through
+            if getattr(calc, "vectorize", False):
+                bounds = calc.tarrays.backward_required_bounds()
+            else:
+                bounds = [0.0] * self.ec.num_nets
+                for gate in reversed(self.ec.gates):
+                    downstream = bounds[gate.output_net]
+                    for arc in self.fanin[gate.output_net]:
+                        through = calc.worst_arc_delay(gate, arc.pin) + downstream
+                        if through > bounds[arc.src_net]:
+                            bounds[arc.src_net] = through
         obs_metrics.REGISTRY.histogram("tgraph.backward_pass_ms").observe(
             (time.perf_counter() - started) * 1e3
         )

@@ -148,6 +148,15 @@ class Histogram:
                     # frexp puts v in [2^(e-1), 2^e).
                     lower = math.ldexp(1.0, exponent - 1)
                     upper = math.ldexp(1.0, exponent)
+                # Clamp the interpolation edges to the exactly-tracked
+                # extremes before interpolating: every observation in
+                # this bucket lies inside [vmin, vmax], so the full
+                # power-of-two span would otherwise place the estimate
+                # outside any observed value (e.g. p99 above the true
+                # maximum).  The interval stays non-empty because the
+                # bucket holds at least one observation.
+                lower = max(lower, self.vmin)
+                upper = min(upper, self.vmax)
                 fraction = (rank - seen) / n
                 estimate = lower + fraction * (upper - lower)
                 return min(self.vmax, max(self.vmin, estimate))

@@ -43,6 +43,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
 from repro.resilience.budgets import SearchBudgets
+from repro.resilience.errors import ConfigError
 from repro.resilience.supervisor import (
     ShardSupervisor,
     SupervisedResult,
@@ -69,6 +70,7 @@ def supervised_find_paths(
     complete: bool = False,
     budgets: Optional[SearchBudgets] = None,
     missing_arc_policy: str = "error",
+    vectorize: bool = True,
     shard_timeout: Optional[float] = None,
     shard_retries: int = 2,
     retry_backoff: float = 0.05,
@@ -93,11 +95,12 @@ def supervised_find_paths(
     come back tagged ``partial`` in the completeness report.
     """
     if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
     origins = list(inputs) if inputs is not None else list(circuit.inputs)
     calc_kwargs = dict(temp=temp, vdd=vdd, input_slew=input_slew,
                        vector_blind=vector_blind, wire=wire,
-                       missing_arc_policy=missing_arc_policy)
+                       missing_arc_policy=missing_arc_policy,
+                       vectorize=vectorize)
     finder_kwargs = dict(
         max_paths=max_paths,
         n_worst=n_worst,
@@ -131,6 +134,14 @@ def supervised_find_paths(
             parent_ec = EngineCircuit(circuit)
             parent_calc = DelayCalculator(parent_ec, charlib, **calc_kwargs)
             supervisor.finder_kwargs["bounds"] = parent_calc.prune_bounds()
+            # Ship the full compiled tables (slew fixed point, worst-arc
+            # delays, both bounds) alongside: worker calculators seed
+            # them instead of re-deriving the sweeps per process.  Kept
+            # out of calc_kwargs -- the worst-arc table has tuple keys,
+            # which the JSON checkpoint fingerprint cannot encode (and
+            # the tables are derived state, not configuration).
+            supervisor.compiled_tables = parent_calc.export_tables()
+            obs_metrics.REGISTRY.counter("perf.compiled_tables_shipped").inc()
             supervisor.attach_parent_context(parent_ec, parent_calc)
         result = supervisor.run(origins)
 

@@ -74,6 +74,20 @@ class OutputWriteError(ResilienceError):
     exit_code = EXIT_CANTCREAT
 
 
+class ConfigError(ResilienceError, ValueError):
+    """A flag or option value the user supplied is invalid (unknown
+    missing-arc policy, ``--jobs 0``, ...).
+
+    Maps to ``EX_CONFIG`` so bad configuration exits 78 with a
+    one-line message instead of either a raw ``ValueError`` traceback
+    or the misleading ``EX_DATAERR`` that :func:`classify` assigns to
+    generic ``ValueError``\\ s (which is reserved for malformed *input
+    data*).  Also subclasses :class:`ValueError` for callers that
+    historically caught the raw validation error."""
+
+    exit_code = EXIT_CONFIG
+
+
 class CheckpointError(ResilienceError):
     """Checkpoint file unreadable, corrupt, or incompatible with the
     current circuit/search configuration."""

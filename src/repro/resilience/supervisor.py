@@ -116,7 +116,7 @@ DELTA_KEYS = (
 def _init_worker(circuit: Circuit, charlib: CharacterizedLibrary,
                  calc_kwargs: Dict, finder_kwargs: Dict,
                  fault_plan: object, obs_config: Dict,
-                 beat_queue: object) -> None:
+                 beat_queue: object, compiled_tables: object = None) -> None:
     # Workers ignore SIGINT: the parent owns interruption, so a Ctrl-C
     # does not spray one KeyboardInterrupt traceback per child.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -131,7 +131,12 @@ def _init_worker(circuit: Circuit, charlib: CharacterizedLibrary,
         obs_tracing.drain_events()
     global _WORKER
     ec = EngineCircuit(circuit)
-    calc = DelayCalculator(ec, charlib, **calc_kwargs)
+    # The parent's compiled timing tables (slew fixed point, worst-arc
+    # delays, pruning bounds) are derived purely from circuit + corner:
+    # seeding them gives byte-identical values without redoing the
+    # sweeps once per worker process.
+    calc = DelayCalculator(ec, charlib, compiled=compiled_tables,
+                           **calc_kwargs)
     shipper = RegistryShipper()
     shipper.collect("__init__")  # absorb pre-shard registry state
     _WORKER = (ec, calc, finder_kwargs, fault_plan, shipper, beat_queue)
@@ -277,6 +282,11 @@ class ShardSupervisor:
         self.finder_kwargs = dict(finder_kwargs)
         self.config = config
         self.fault_plan = fault_plan
+        #: Parent-computed :class:`~repro.core.tarrays.CompiledTables`
+        #: shipped to every worker (and any in-process fallback
+        #: calculator).  Deliberately not part of ``calc_kwargs``: it is
+        #: derived state, excluded from the checkpoint fingerprint.
+        self.compiled_tables = None
         self._ec: Optional[EngineCircuit] = None
         self._calc: Optional[DelayCalculator] = None
         self._completed_count = 0
@@ -300,6 +310,7 @@ class ShardSupervisor:
         if self._ec is None:
             self._ec = EngineCircuit(self.circuit)
             self._calc = DelayCalculator(self._ec, self.charlib,
+                                         compiled=self.compiled_tables,
                                          **self.calc_kwargs)
         return self._ec, self._calc
 
@@ -480,7 +491,7 @@ class ShardSupervisor:
             initializer=_init_worker,
             initargs=(self.circuit, self.charlib, self.calc_kwargs,
                       self.finder_kwargs, self.fault_plan, obs_config,
-                      self._beat_queue),
+                      self._beat_queue, self.compiled_tables),
         )
 
     @staticmethod

@@ -50,6 +50,31 @@ class TestExitCodes:
         assert rc == EXIT_CONFIG
         assert "fingerprint" in capsys.readouterr().err
 
+    def test_bad_missing_arc_policy_is_config_error(
+            self, bench_file, capsys, charlib_poly_90):
+        """Satellite: an invalid policy must exit through the taxonomy
+        (EX_CONFIG), not argparse's generic exit 2."""
+        rc = main(["analyze", bench_file, "--no-map",
+                   "--missing-arc-policy", "bogus"])
+        assert rc == EXIT_CONFIG
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_jobs_zero_is_config_error(self, bench_file, capsys,
+                                       charlib_poly_90):
+        rc = main(["analyze", bench_file, "--no-map", "--jobs", "0"])
+        assert rc == EXIT_CONFIG
+        assert "jobs" in capsys.readouterr().err
+
+    def test_config_error_is_both_taxonomized_and_a_value_error(self):
+        from repro.resilience.errors import ConfigError, ResilienceError
+
+        exc = ConfigError("boom")
+        assert isinstance(exc, ResilienceError)
+        assert isinstance(exc, ValueError)  # legacy callers catch this
+        assert exc.exit_code == EXIT_CONFIG
+
     def test_debug_log_level_keeps_the_stack(self, clean_obs):
         with pytest.raises(FileNotFoundError):
             main(["analyze", "/no/such/netlist.bench",

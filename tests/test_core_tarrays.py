@@ -1,0 +1,240 @@
+"""Scalar-vs-vectorized equivalence for the SoA timing core.
+
+The vectorized sweeps in :mod:`repro.core.tarrays` promise *byte
+identity* with the scalar traversals they replace, not approximate
+agreement: every arrival, slew, prune bound and N-worst report must be
+bitwise the same float.  These tests pin that contract on the ISCAS
+suite, on seeded fuzz netlists, and on degenerate graphs, and also pin
+the batch-equivalence law of the models that the whole scheme rests on
+(``evaluate_many(batch)[i]`` bitwise-equal to ``evaluate(batch[i])``).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.delaycalc import DelayCalculator
+from repro.core.engine import EngineCircuit
+from repro.core.sta import TruePathSTA
+from repro.core.tarrays import CompiledTables, TimingArrays
+from repro.eval.iscas import build_circuit
+from repro.obs import metrics as obs_metrics
+from repro.perf.parallel import supervised_find_paths
+from repro.verify.fuzz import generate_case
+
+
+def _calcs(circuit, charlib):
+    """A (scalar, vectorized) calculator pair over independent engines."""
+    scalar = DelayCalculator(
+        EngineCircuit(circuit), charlib,
+        vector_blind=charlib.metadata.get("vector_mode") == "default",
+        vectorize=False,
+    )
+    vectorized = DelayCalculator(
+        EngineCircuit(circuit), charlib,
+        vector_blind=charlib.metadata.get("vector_mode") == "default",
+        vectorize=True,
+    )
+    return scalar, vectorized
+
+
+def _assert_identical(circuit, charlib):
+    """Forward pass, prune bounds and slew ceiling are byte-identical."""
+    scalar, vectorized = _calcs(circuit, charlib)
+
+    ft_s = scalar.ec.tgraph.forward_arrivals(scalar)
+    ft_v = vectorized.ec.tgraph.forward_arrivals(vectorized)
+    assert ft_s.arrivals == ft_v.arrivals
+    assert ft_s.slews == ft_v.slews
+
+    assert scalar.bound_slews() == vectorized.bound_slews()
+
+    pb_s = scalar.prune_bounds()
+    pb_v = vectorized.prune_bounds()
+    assert pb_s.required == pb_v.required
+    assert pb_s.suffix == pb_v.suffix
+
+
+class TestIscasEquivalence:
+    @pytest.mark.parametrize("spec", ["c17", "c432@0.3", "c1908@0.25"])
+    def test_polynomial(self, spec, charlib_poly_90):
+        name, _, scale = spec.partition("@")
+        circuit = build_circuit(name, scale=float(scale) if scale else 1.0)
+        _assert_identical(circuit, charlib_poly_90)
+
+    @pytest.mark.parametrize("spec", ["c17", "c432@0.3"])
+    def test_lut(self, spec, charlib_lut_90):
+        name, _, scale = spec.partition("@")
+        circuit = build_circuit(name, scale=float(scale) if scale else 1.0)
+        _assert_identical(circuit, charlib_lut_90)
+
+
+class TestFuzzEquivalence:
+    @pytest.mark.parametrize("index", range(4))
+    def test_seeded_netlists(self, index, charlib_poly_90):
+        _assert_identical(generate_case(2026, index), charlib_poly_90)
+
+
+class TestDegenerateGraphs:
+    def test_single_gate(self, library, charlib_poly_90):
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("onegate", library)
+        circuit.add_input("a")
+        circuit.add_gate("INV", "out", {"A": "a"})
+        circuit.add_output("out")
+        circuit.check()
+        _assert_identical(circuit, charlib_poly_90)
+
+    def test_fanout_chain(self, library, charlib_poly_90):
+        """A diamond plus a side net exercising fanout > 1 per level."""
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("diamond", library)
+        circuit.add_input("a")
+        circuit.add_gate("INV", "u", {"A": "a"})
+        circuit.add_gate("INV", "v", {"A": "a"})
+        circuit.add_gate("NAND2", "out", {"A": "u", "B": "v"})
+        circuit.add_output("out")
+        circuit.check()
+        _assert_identical(circuit, charlib_poly_90)
+
+
+class TestBatchEquivalenceLaw:
+    """``evaluate_many(batch)[i]`` must be bitwise ``evaluate(batch[i])``.
+
+    This is the law (documented in repro.charlib.model) that lets the
+    SoA sweeps batch arbitrarily while staying byte-identical to the
+    scalar traversal.  Checked against every arc of both model kinds.
+    """
+
+    def _check(self, charlib, points):
+        for arc in charlib.arcs()[:40]:
+            for model in (arc.delay_model, arc.slew_model):
+                batch = model.evaluate_many(points)
+                for i, (fo, t_in, temp, vdd) in enumerate(points):
+                    one = model.evaluate(fo, t_in, temp, vdd)
+                    assert batch[i] == one, (arc.key, i)
+
+    def _points(self):
+        rng = np.random.default_rng(7)
+        n = 16
+        return np.column_stack([
+            rng.uniform(0.5, 8.0, n),
+            rng.uniform(1e-12, 4e-10, n),
+            np.full(n, 25.0),
+            np.full(n, 1.2),
+        ])
+
+    def test_polynomial_models(self, charlib_poly_90):
+        self._check(charlib_poly_90, self._points())
+
+    def test_lut_models(self, charlib_lut_90):
+        self._check(charlib_lut_90, self._points())
+
+
+class TestNWorstEquivalence:
+    def test_top_n_reports_identical(self, charlib_poly_90):
+        circuit = build_circuit("c432", scale=0.3)
+        scalar = TruePathSTA(circuit, charlib_poly_90, vectorize=False)
+        vector = TruePathSTA(circuit, charlib_poly_90, vectorize=True)
+        paths_s = scalar.enumerate_paths(n_worst=5)
+        paths_v = vector.enumerate_paths(n_worst=5)
+        assert [(p.worst_arrival, tuple(p.nets)) for p in paths_s] == \
+               [(p.worst_arrival, tuple(p.nets)) for p in paths_v]
+
+
+class TestShardShipping:
+    def test_jobs2_matches_serial_scalar(self, charlib_poly_90, clean_obs):
+        """Shipping CompiledTables to shards changes nothing observable."""
+        circuit = build_circuit("c432", scale=0.3)
+        serial = supervised_find_paths(
+            circuit, charlib_poly_90, jobs=1, n_worst=5, vectorize=False)
+        sharded = supervised_find_paths(
+            circuit, charlib_poly_90, jobs=2, n_worst=5, vectorize=True)
+
+        def key(paths):
+            return sorted((p.worst_arrival, tuple(p.nets)) for p in paths)
+
+        assert key(serial.paths) == key(sharded.paths)
+        shipped = obs_metrics.REGISTRY.counter("perf.compiled_tables_shipped")
+        assert shipped.value >= 1
+
+
+class TestCompiledTables:
+    def test_pickle_roundtrip_and_seed(self, charlib_poly_90):
+        circuit = build_circuit("c432", scale=0.3)
+        _, vectorized = _calcs(circuit, charlib_poly_90)
+        tables = vectorized.export_tables()
+
+        thawed = pickle.loads(pickle.dumps(tables))
+        assert isinstance(thawed, CompiledTables)
+        assert thawed.bound_slews == tables.bound_slews
+        assert thawed.required == tables.required
+        assert thawed.suffix == tables.suffix
+        assert thawed.worst_arc == tables.worst_arc
+
+        seeded = DelayCalculator(
+            EngineCircuit(circuit), charlib_poly_90, compiled=thawed)
+        assert seeded.bound_slews() == vectorized.bound_slews()
+        pb = seeded.prune_bounds()
+        assert pb.required == tables.required
+        assert pb.suffix == tables.suffix
+
+    def test_seeded_calc_skips_recompute(self, charlib_poly_90):
+        circuit = build_circuit("c17")
+        _, vectorized = _calcs(circuit, charlib_poly_90)
+        tables = vectorized.export_tables()
+        seeded = DelayCalculator(
+            EngineCircuit(circuit), charlib_poly_90, compiled=tables)
+        # Seeding installs the finished tables directly; no sweep runs.
+        assert seeded._prune_bounds is not None
+        assert seeded._worst_table_complete
+
+
+class TestLazyMissingArcs:
+    def test_compile_survives_missing_arcs(self, library, charlib_poly_90):
+        """Compilation must not raise for arcs no reachable signal uses;
+        a reachable missing arc raises the same error as the scalar
+        path when the sweep activates it."""
+        from repro.charlib.store import CharacterizedLibrary
+        from repro.core.delaycalc import MissingArcsError
+        from repro.netlist.circuit import Circuit
+
+        circuit = Circuit("missing", library)
+        circuit.add_input("a")
+        circuit.add_gate("INV", "out", {"A": "a"})
+        circuit.add_output("out")
+        circuit.check()
+
+        kept = [a for a in charlib_poly_90.arcs() if a.cell != "INV"]
+        gutted = CharacterizedLibrary(
+            tech_name=charlib_poly_90.tech_name,
+            library_name=charlib_poly_90.library_name,
+            model_kind=charlib_poly_90.model_kind,
+            input_caps=charlib_poly_90.input_caps,
+            arcs=kept,
+            metadata=charlib_poly_90.metadata,
+        )
+
+        scalar, vectorized = _calcs(circuit, gutted)
+        with pytest.raises(MissingArcsError):
+            scalar.ec.tgraph.forward_arrivals(scalar)
+        with pytest.raises(MissingArcsError):
+            vectorized.ec.tgraph.forward_arrivals(vectorized)
+
+
+class TestCompileShape:
+    def test_arrays_cover_every_timing_arc(self, charlib_poly_90):
+        circuit = build_circuit("c17")
+        _, vectorized = _calcs(circuit, charlib_poly_90)
+        arrays = vectorized.tarrays
+        assert isinstance(arrays, TimingArrays)
+        ft = arrays.forward_arrivals()
+        n_nets = vectorized.ec.num_nets
+        assert len(ft.arrivals) == n_nets
+        assert len(ft.slews) == n_nets
+        # Every primary output must be reached at some polarity.
+        for net in vectorized.ec.output_ids:
+            assert any(a is not None for a in ft.arrivals[net])

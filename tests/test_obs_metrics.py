@@ -88,6 +88,27 @@ class TestHistogram:
             h.observe(3.0)
         assert 3.0 <= h.percentile(50) <= 3.0  # capped at observed max
 
+    def test_percentile_edges_clamped_to_observed_range(self, registry):
+        # Regression: with every observation in one power-of-two bucket
+        # ([2, 4) here), interpolating across the raw bucket edges put
+        # estimates outside the observed values (p99 above the true
+        # max).  The edges must clamp to [vmin, vmax] *before* the
+        # in-bucket interpolation, not only in a final clamp.
+        h = registry.histogram("edges")
+        for v in (3.0, 3.5, 3.9):
+            h.observe(v)
+        # rank(50) = 2 of 3 -> fraction 2/3 across the clamped span.
+        assert h.percentile(50) == pytest.approx(3.0 + (2.0 / 3.0) * 0.9)
+        for q in (1, 25, 50, 75, 90, 95, 99, 100):
+            assert 3.0 <= h.percentile(q) <= 3.9
+
+    def test_percentile_never_exceeds_observed_max(self, registry):
+        h = registry.histogram("clamp")
+        for _ in range(100):
+            h.observe(3.9)
+        for q in (50, 90, 99, 100):
+            assert h.percentile(q) == 3.9
+
     def test_nonpositive_values_counted(self, registry):
         h = registry.histogram("signed")
         h.observe(0.0)
