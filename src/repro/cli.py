@@ -280,6 +280,73 @@ def _analyze(args) -> int:
     return _finish_obs(args)
 
 
+def _size(args) -> int:
+    from repro.gates.library import sized_library
+    from repro.opt.sizer import TimingDrivenSizer
+
+    _setup_obs(args)
+    circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
+    tech = TECHNOLOGIES[args.tech]
+    library = sized_library()
+    circuit.library = library
+    # Characterize only what the loop can actually touch: the cells in
+    # the netlist plus their drive variants (or bases, for a netlist
+    # that already carries sized cells).  The on-disk characterization
+    # cache makes repeat invocations cheap.
+    used = sorted({inst.cell.name for inst in circuit.instances.values()})
+    cells = set(used)
+    for name in used:
+        variant = f"{name}{args.variant_suffix}"
+        if variant in library:
+            cells.add(variant)
+        if name.endswith(args.variant_suffix):
+            base = name[: -len(args.variant_suffix)]
+            if base in library:
+                cells.add(base)
+    charlib = characterize_library(
+        library, tech, grid=FAST_GRID, cells=sorted(cells)
+    )
+    budgets = _budgets_from_args(args)
+    sizer = TimingDrivenSizer(
+        circuit, charlib, args.required * 1e-12,
+        strategy=args.strategy,
+        seed=args.seed,
+        max_moves=args.max_moves,
+        variant_suffix=args.variant_suffix,
+        max_paths=args.max_paths,
+        vectorize=not args.no_vectorize,
+        budgets=budgets,
+        scratch=args.scratch,
+    )
+    result = sizer.run()
+    print(result.describe())
+    if args.json:
+        payload = {
+            "circuit": circuit.name,
+            "strategy": result.strategy,
+            "stop_reason": result.stop_reason,
+            "met": result.met,
+            "required_ps": result.required_time * 1e12,
+            "initial_ps": result.initial_arrival * 1e12,
+            "final_ps": result.final_arrival * 1e12,
+            "moves": [
+                {
+                    "gate": m.gate_name,
+                    "from": m.from_cell,
+                    "to": m.to_cell,
+                    "before_ps": m.arrival_before * 1e12,
+                    "after_ps": m.arrival_after * 1e12,
+                    "accepted": m.accepted,
+                }
+                for m in result.moves
+            ],
+        }
+        _write_artifact(args.json, json.dumps(payload, indent=2),
+                        "sizing report")
+        print(f"\nwrote sizing report to {args.json}")
+    return _finish_obs(args)
+
+
 def _verify(args) -> int:
     _setup_obs(args)
     library = default_library()
@@ -486,6 +553,55 @@ def main(argv: Optional[list] = None) -> int:
                               "but distinguishing silent hangs from slow "
                               "progress)")
     analyze.set_defaults(func=_analyze)
+
+    size = sub.add_parser(
+        "size",
+        help="timing-driven gate sizing against the incremental STA "
+             "session (repro.opt.sizer)",
+    )
+    size.add_argument("netlist")
+    size.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
+    size.add_argument("--required", type=float, required=True,
+                      metavar="PS", help="required time in ps")
+    size.add_argument("--strategy", default="greedy",
+                      choices=["greedy", "anneal"])
+    size.add_argument("--seed", type=int, default=0,
+                      help="anneal move-selection seed (default 0)")
+    size.add_argument("--max-moves", type=int, default=20,
+                      help="greedy: sizing rounds; anneal: attempted "
+                           "moves (default 20)")
+    size.add_argument("--variant-suffix", default="_X2", metavar="SUFFIX",
+                      help="drive-variant cell-name suffix (default _X2)")
+    size.add_argument("--max-paths", type=int, default=5000,
+                      help="cap per worst-path query (default 5000)")
+    size.add_argument("--no-map", action="store_true",
+                      help="skip technology mapping of .bench input")
+    size.add_argument("--no-vectorize", action="store_true",
+                      help="scalar reference sweeps (byte-identical)")
+    size.add_argument("--scratch", action="store_true",
+                      help="rebuild all analysis state from scratch per "
+                           "move instead of dirty-cone repair (A/B "
+                           "reference; results are identical)")
+    size.add_argument("--wall-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop the sizing loop after this much "
+                           "wall-clock time")
+    size.add_argument("--extension-budget", type=int, default=None,
+                      metavar="N", help="cap extensions per path search")
+    size.add_argument("--backtrack-budget", type=int, default=None,
+                      metavar="N", help="cap backtracks per path search")
+    size.add_argument("--json", default=None, metavar="PATH",
+                      help="write the move-by-move sizing report to PATH")
+    size.add_argument("--log-level", default=None,
+                      choices=["debug", "info", "warning", "error"])
+    size.add_argument("--log-json", default=None, metavar="PATH")
+    size.add_argument("--profile", action="store_true",
+                      help="trace spans and print a span/metric tree")
+    size.add_argument("--metrics-json", default=None, metavar="PATH",
+                      help="write the metrics+span snapshot to PATH")
+    size.add_argument("--trace-json", default=None, metavar="PATH",
+                      help="write a Chrome trace-event timeline to PATH")
+    size.set_defaults(func=_size)
 
     verify = sub.add_parser(
         "verify",

@@ -18,7 +18,7 @@ the arc delay at a single slew point is not admissible.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -574,3 +574,47 @@ class DelayCalculator:
             required=tuple(tables.required), suffix=tuple(tables.suffix)
         )
         self._worst_table_complete = True
+
+    # ------------------------------------------------------------------
+    # incremental-edit plumbing (repro.core.incremental)
+    # ------------------------------------------------------------------
+    def invalidate_gates(
+        self, gate_indices: Sequence[int], keep_bounds: bool = False
+    ) -> None:
+        """Drop every per-gate memo keyed off the named gates' arcs.
+
+        Called after an in-place cell swap: the gates' resolved-arc
+        tuples, worst-arc and worst-gate delays all read the old cell's
+        models.  The cell-name-keyed ``_arc_cache`` survives (its
+        entries stay correct for every cell, including the new one).
+        With ``keep_bounds`` the per-net backward bounds are left for
+        the caller to repair incrementally; otherwise they are dropped
+        and recomputed from scratch on next access.
+        """
+        for index in gate_indices:
+            self._gate_arcs_cache.pop(index, None)
+            self._worst_delay_cache.pop(index, None)
+            gate = self.ec.gates[index]
+            for pin in gate.options:
+                self._pin_arcs_cache.pop((index, pin), None)
+                self._worst_arc_cache.pop((index, pin), None)
+        self._worst_table_complete = False
+        if not keep_bounds:
+            self._remaining_bounds = None
+            self._required_bounds = None
+            self._prune_bounds = None
+
+    def refresh_fanout(self, gate_indices: Sequence[int]) -> None:
+        """Re-derive the pre-resolved equivalent fanout of the named
+        gates from the circuit's current cells (a swap moves ``fo`` two
+        ways: the sink pin caps of the edited gate's *drivers* change,
+        and the edited gate's own ``mean_cap`` denominator changes).
+        Mirrors the patched values into the compiled SoA tables when
+        they exist."""
+        circuit = self.ec.circuit
+        for index in gate_indices:
+            gate = self.ec.gates[index]
+            load = output_load(circuit, gate.inst, self.charlib, wire=self.wire)
+            self.fo[index] = load / self.charlib.mean_cap(gate.cell.name)
+        if self._tarrays is not None:
+            self._tarrays.patch_fo(gate_indices)

@@ -12,11 +12,9 @@ too early (it thinks timing is met while a harder vector still fails).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.charlib.store import CharacterizedLibrary
-from repro.core.path import TimedPath
-from repro.core.sta import TruePathSTA
 from repro.netlist.circuit import Circuit
 
 
@@ -66,13 +64,6 @@ class SizingResult:
         return "\n".join(lines)
 
 
-def _worst_path(sta: TruePathSTA, max_paths: Optional[int]) -> TimedPath:
-    paths = sta.enumerate_paths(max_paths=max_paths)
-    if not paths:
-        raise ValueError("circuit has no true paths")
-    return max(paths, key=lambda p: p.worst_arrival)
-
-
 def upsize_critical_path(
     circuit: Circuit,
     charlib: CharacterizedLibrary,
@@ -89,55 +80,25 @@ def upsize_critical_path(
     characterized library must cover them (use
     :func:`repro.gates.library.sized_library`).  The circuit is
     modified in place.
+
+    Thin compatibility wrapper: the loop itself now lives in
+    :class:`repro.opt.sizer.TimingDrivenSizer` (strategy ``greedy``,
+    identical round semantics -- ``max_iterations`` rounds, first
+    strictly-improving swap per round, reverts otherwise), driven by
+    the incremental STA session instead of a from-scratch rebuild per
+    candidate.  When no gate on the critical path has a drive variant
+    the sizer emits a structured ``sizer.no_candidate`` warning and
+    counter instead of silently returning an empty result.
     """
-    sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
-    worst = _worst_path(sta, max_paths)
-    initial = worst.worst_arrival
-    result = SizingResult(
-        met=initial <= required_time,
-        required_time=required_time,
-        initial_arrival=initial,
-        final_arrival=initial,
+    from repro.opt.sizer import TimingDrivenSizer  # late: avoids cycle
+
+    sizer = TimingDrivenSizer(
+        circuit, charlib, required_time,
+        strategy="greedy",
+        max_moves=max_iterations,
+        variant_suffix=variant_suffix,
+        max_paths=max_paths,
+        temp=temp,
+        vdd=vdd,
     )
-    for _ in range(max_iterations):
-        if result.final_arrival <= required_time:
-            result.met = True
-            return result
-        polarity = max(worst.polarities(), key=lambda p: p.arrival)
-        # Candidate: the largest-delay gate on the path that still has
-        # an unapplied variant.
-        candidates = sorted(
-            zip(worst.steps, polarity.gate_delays),
-            key=lambda item: -item[1],
-        )
-        swapped = False
-        for step, _delay in candidates:
-            variant_name = f"{step.cell_name}{variant_suffix}"
-            if variant_name not in circuit.library:
-                continue
-            before = result.final_arrival
-            replace_cell(circuit, step.gate_name, variant_name)
-            sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
-            worst = _worst_path(sta, max_paths)
-            after = worst.worst_arrival
-            if after >= before:  # upsizing hurt (self-loading); revert
-                replace_cell(circuit, step.gate_name, step.cell_name)
-                sta = TruePathSTA(circuit, charlib, temp=temp, vdd=vdd)
-                worst = _worst_path(sta, max_paths)
-                continue
-            result.changes.append(
-                SizingChange(
-                    gate_name=step.gate_name,
-                    from_cell=step.cell_name,
-                    to_cell=variant_name,
-                    arrival_before=before,
-                    arrival_after=after,
-                )
-            )
-            result.final_arrival = after
-            swapped = True
-            break
-        if not swapped:
-            break  # nothing left to upsize
-    result.met = result.final_arrival <= required_time
-    return result
+    return sizer.run().to_sizing_result()

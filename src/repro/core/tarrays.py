@@ -237,6 +237,7 @@ class _ForwardTables:
     __slots__ = (
         "src", "dst", "in_pol", "out_pol", "gate", "levels",
         "delay_groups", "slew_groups", "missing_groups", "level_order",
+        "delay_models", "slew_models",
     )
 
     def __init__(self):
@@ -252,6 +253,11 @@ class _ForwardTables:
         #: lookup args needed to re-raise the scalar error lazily.
         self.missing_groups: Dict[int, np.ndarray] = {}
         self.level_order: List[int] = []
+        #: Per-record resolved models (None = unresolvable record),
+        #: retained so an in-place gate patch can rebuild one level's
+        #: fused groups without recompiling the whole graph.
+        self.delay_models: List[Optional["DelayModel"]] = []
+        self.slew_models: List[Optional["DelayModel"]] = []
 
 
 class TimingArrays:
@@ -353,6 +359,8 @@ class TimingArrays:
         fwd.out_pol = np.asarray(out_pols, dtype=np.intp)
         fwd.gate = np.asarray(gates, dtype=np.intp)
         fwd.levels = np.asarray(levels, dtype=np.intp)
+        fwd.delay_models = delay_models
+        fwd.slew_models = slew_models
         self._record_lookups = lookups
 
         by_level: Dict[int, List[int]] = {}
@@ -513,6 +521,135 @@ class TimingArrays:
             if peak > worst:
                 worst = peak
         return worst
+
+    # ------------------------------------------------------------------
+    # in-place record patching (repro.core.incremental)
+    # ------------------------------------------------------------------
+    def patch_gate(self, gate_index: int) -> bool:
+        """Re-resolve one gate's forward records in place after its
+        cell was swapped, instead of recompiling the whole graph.
+
+        The record layout per gate is ``(fanin arc x sensitization
+        option x input polarity)`` in compile order.  A pin-compatible
+        swap keeps the fanin arcs (and hence ``src``/``dst``/``levels``)
+        fixed, but the new cell's vectors may change ``out_pol``
+        (inverting flips), the resolved models, and -- when the vector
+        *count* per pin differs (e.g. NAND2 -> XOR2) -- the record count
+        itself.  In that last case patching is impossible; the compiled
+        tables are dropped and False is returned so the caller can
+        count a full SoA recompile.  Otherwise the gate's records are
+        regenerated exactly as :meth:`_compile_forward` would, and only
+        the fused evaluation groups of the gate's own level are
+        rebuilt.  No-op (True) when the forward tables were never
+        compiled.
+        """
+        if self._forward is None:
+            return True
+        from repro.core.delaycalc import MissingArcsError
+
+        fwd = self._forward
+        gate = self.ec.gates[gate_index]
+        recs = np.nonzero(fwd.gate == gate_index)[0]
+        out_net = gate.output_net
+        regenerated: List[Tuple] = []
+        for arc in self.tg.fanin[out_net]:
+            if arc.gate_index != gate_index:
+                continue
+            for option in gate.options[arc.pin]:
+                vector = option.vector
+                for in_pol in (0, 1):
+                    input_rising = in_pol == 0
+                    output_rising = input_rising ^ vector.inverting
+                    regenerated.append((
+                        arc.src_net, in_pol, 0 if output_rising else 1,
+                        (gate, arc.pin, vector.vector_id,
+                         input_rising, output_rising),
+                    ))
+        if len(regenerated) != recs.size:
+            self._forward = None
+            self._record_lookups = []
+            return False
+        for rec, (src_net, in_pol, out_pol, lookup) in zip(
+            recs, regenerated
+        ):
+            rec = int(rec)
+            fwd.src[rec] = src_net
+            fwd.in_pol[rec] = in_pol
+            fwd.out_pol[rec] = out_pol
+            self._record_lookups[rec] = lookup
+            try:
+                resolved = self._resolve_record(*lookup)
+            except MissingArcsError:
+                fwd.delay_models[rec] = None
+                fwd.slew_models[rec] = None
+                continue
+            fwd.delay_models[rec] = resolved.delay_model
+            fwd.slew_models[rec] = resolved.slew_model
+        level = self.tg.levels[out_net]
+        level_recs = np.nonzero(fwd.levels == level)[0]
+        missing = [int(r) for r in level_recs if fwd.delay_models[r] is None]
+        if missing:
+            fwd.missing_groups[level] = np.asarray(missing, dtype=np.intp)
+        else:
+            fwd.missing_groups.pop(level, None)
+        fwd.delay_groups[level] = _build_groups(
+            [(int(r), fwd.delay_models[r]) for r in level_recs
+             if fwd.delay_models[r] is not None]
+        )
+        fwd.slew_groups[level] = _build_groups(
+            [(int(r), fwd.slew_models[r]) for r in level_recs
+             if fwd.slew_models[r] is not None]
+        )
+        return True
+
+    def patch_fo(self, gate_indices: Sequence[int]) -> None:
+        """Mirror the calculator's refreshed equivalent fanouts into
+        the shared per-gate vector (:meth:`DelayCalculator.refresh_fanout`
+        calls this after an edit)."""
+        for index in gate_indices:
+            self.fo[index] = self.calc.fo[index]
+
+    def invalidate_slew_groups(self) -> None:
+        """Drop the ceiling-sweep model groups; an edit changed some
+        gate's (model, fanout) pairs, and the groups are cheap to
+        rebuild lazily relative to the fixed-point rounds."""
+        self._slew_groups = None
+
+    def slew_peaks(
+        self, samples: Sequence[float],
+        gate_indices: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """Worst output slew *per gate* over one sample grid, batched
+        per model.  Each value is the max over the gate's resolvable
+        arcs of ``evaluate_many`` on the grid -- bitwise the same
+        floats the global :meth:`max_slew` round maximizes over, so a
+        per-gate peak table maintained from these reproduces the scalar
+        ceiling fixed point exactly while re-evaluating only dirty
+        gates per edit."""
+        calc = self.calc
+        gates = (self.ec.gates if gate_indices is None
+                 else [self.ec.gates[i] for i in gate_indices])
+        grid = np.asarray(samples, dtype=float)
+        peaks = np.zeros(len(gates))
+        fos: Dict[int, List[Tuple[int, float]]] = {}
+        model_of: Dict[int, "DelayModel"] = {}
+        for slot, gate in enumerate(gates):
+            fo = calc.fo[gate.index]
+            for arc in calc.gate_arcs(gate):
+                token = id(arc.slew_model)
+                model_of[token] = arc.slew_model
+                fos.setdefault(token, []).append((slot, fo))
+        for token, pairs in fos.items():
+            sidx = np.asarray([s for s, _ in pairs], dtype=np.intp)
+            fo_values = np.asarray([f for _, f in pairs], dtype=float)
+            pts = self._points(
+                np.repeat(fo_values, grid.size),
+                np.tile(grid, fo_values.size),
+            )
+            vals = model_of[token].evaluate_many(pts)
+            p = vals.reshape(len(pairs), grid.size).max(axis=1)
+            np.maximum.at(peaks, sidx, p)
+        return [float(v) for v in peaks]
 
     # ------------------------------------------------------------------
     # backward required-time bound

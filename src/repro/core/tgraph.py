@@ -226,6 +226,97 @@ class TimingGraph:
         return ForwardTiming(arrivals=arrivals, slews=slews)
 
     # ------------------------------------------------------------------
+    # per-net recompute primitives (incremental dirty-cone re-analysis)
+    # ------------------------------------------------------------------
+    def forward_update_net(
+        self,
+        calc: "DelayCalculator",
+        net: int,
+        timing: ForwardTiming,
+    ) -> bool:
+        """Recompute one driven net's worst arrival/slew slots in place.
+
+        Replays exactly the per-gate inner loop of
+        :meth:`_forward_arrivals_scalar` for this net, reading the
+        (already final) arrivals/slews of the net's fanin sources from
+        ``timing`` and overwriting the net's own slots.  Because float
+        ``max`` over a fixed multiset is order-independent and the
+        per-record arithmetic is the same IEEE doubles the full pass
+        performs, the updated slots are bitwise-equal to a from-scratch
+        pass -- this is the primitive
+        :class:`~repro.core.incremental.IncrementalSTA` sweeps over the
+        dirty cone.  Returns True when either polarity slot changed
+        (including reachability flips, which a function-changing cell
+        swap can cause).
+        """
+        arrivals, slews = timing.arrivals, timing.slews
+        out_arr: List[Optional[float]] = [None, None]
+        out_slew: List[Optional[float]] = [None, None]
+        gates = self.ec.gates
+        for arc in self.fanin[net]:
+            gate = gates[arc.gate_index]
+            in_arr = arrivals[arc.src_net]
+            in_slew = slews[arc.src_net]
+            for option in gate.options[arc.pin]:
+                vector = option.vector
+                for in_pol in (0, 1):
+                    if in_arr[in_pol] is None:
+                        continue
+                    input_rising = in_pol == 0
+                    output_rising = input_rising ^ vector.inverting
+                    out_pol = 0 if output_rising else 1
+                    delay, slew = calc.arc_timing(
+                        gate, arc.pin, vector.vector_id,
+                        input_rising, output_rising,
+                        in_slew[in_pol],
+                    )
+                    arrival = in_arr[in_pol] + delay
+                    if out_arr[out_pol] is None or arrival > out_arr[out_pol]:
+                        out_arr[out_pol] = arrival
+                    if out_slew[out_pol] is None or slew > out_slew[out_pol]:
+                        out_slew[out_pol] = slew
+        changed = out_arr != arrivals[net] or out_slew != slews[net]
+        arrivals[net] = out_arr
+        slews[net] = out_slew
+        return changed
+
+    def required_through_net(
+        self, calc: "DelayCalculator", net: int, required: Sequence[float]
+    ) -> float:
+        """One net's backward required-time bound from its (final)
+        downstream values: ``max over outgoing arcs (worst_arc_delay +
+        required[dst])``, floored at 0.0 -- the per-net fixed point the
+        full reverse pass converges to, so recomputing only nets whose
+        inputs changed reproduces the full pass bitwise."""
+        best = 0.0
+        gates = self.ec.gates
+        for arc in self.fanout[net]:
+            through = (
+                calc.worst_arc_delay(gates[arc.gate_index], arc.pin)
+                + required[arc.dst_net]
+            )
+            if through > best:
+                best = through
+        return best
+
+    def suffix_through_net(
+        self, calc: "DelayCalculator", net: int, suffix: Sequence[float]
+    ) -> float:
+        """One net's legacy context-free suffix bound: ``max over sink
+        gates (worst_gate_delay + suffix[gate output])``.  A gate fed
+        twice by the same net contributes once per arc, which cannot
+        change the maximum -- bitwise-equal to the full reverse pass of
+        :meth:`DelayCalculator.remaining_bounds`."""
+        best = 0.0
+        gates = self.ec.gates
+        for arc in self.fanout[net]:
+            gate = gates[arc.gate_index]
+            through = calc.worst_gate_delay(gate) + suffix[gate.output_net]
+            if through > best:
+                best = through
+        return best
+
+    # ------------------------------------------------------------------
     def backward_required_bounds(self, calc: "DelayCalculator") -> List[float]:
         """Per-net admissible upper bound on the remaining delay from
         that net to any primary output.

@@ -1,0 +1,5 @@
+"""Timing-driven optimization loops built on the incremental STA core."""
+
+from repro.opt.sizer import SizerMove, SizerResult, TimingDrivenSizer
+
+__all__ = ["SizerMove", "SizerResult", "TimingDrivenSizer"]

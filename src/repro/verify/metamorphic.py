@@ -26,10 +26,17 @@ The catalog (see docs/TESTING.md):
     N-worst pruning uses admissible bounds, so the pruned search's
     top-N multiset of arrivals equals the exhaustive search's, and
     every pruned path is one of the exhaustive paths.
+``incremental_identical``
+    After every edit in a randomized pin-compatible cell-swap sequence,
+    the incremental session's dirty-cone repair (arrivals, slews,
+    required/suffix bounds, N-worst report) is byte-identical to a
+    from-scratch analysis of the mutated circuit, on both the scalar
+    and vectorized paths.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -50,6 +57,7 @@ INVARIANTS = (
     "structural_superset",
     "parallel_identical",
     "pruning_identical",
+    "incremental_identical",
 )
 
 #: Model-noise allowance for the GBA dominance check: GBA propagates
@@ -222,11 +230,96 @@ def check_pruning_identical(
     return InvariantResult("pruning_identical", True, len(want))
 
 
+def check_incremental_identical(
+    circuit: Circuit,
+    charlib: CharacterizedLibrary,
+    seed: int = 0,
+    edits: int = 3,
+    n_worst: int = 4,
+    max_paths: Optional[int] = 2000,
+) -> InvariantResult:
+    """After every edit of a randomized pin-compatible swap sequence,
+    the incremental session must match a from-scratch rebuild bit for
+    bit -- forward arrivals/slews, backward required/suffix bounds, and
+    the full N-worst path identity -- on both the scalar and vectorized
+    paths.  Mutates and then restores the circuit in place."""
+    from repro.core.incremental import IncrementalSTA
+
+    rng = random.Random(seed)
+    pools: dict = {}
+    for cell in circuit.library:
+        pools.setdefault(cell.inputs, []).append(cell)
+    sessions = [
+        IncrementalSTA(circuit, charlib, vectorize=True),
+        IncrementalSTA(circuit, charlib, vectorize=False),
+    ]
+    inst_names = sorted(circuit.instances)
+    original = {name: circuit.instances[name].cell for name in inst_names}
+    checked = 0
+    try:
+        for _ in range(edits):
+            inst_name = inst_names[rng.randrange(len(inst_names))]
+            inst = circuit.instances[inst_name]
+            pool = [c for c in pools.get(inst.cell.inputs, ())
+                    if c.name != inst.cell.name]
+            if not pool:
+                continue
+            new_cell = pool[rng.randrange(len(pool))]
+            for session in sessions:
+                session.replace_cell(inst_name, new_cell)
+            scratch = TruePathSTA(circuit, charlib)
+            timing = scratch.ec.tgraph.forward_arrivals(scratch.calc)
+            want_required = scratch.calc.required_bounds()
+            want_suffix = scratch.calc.remaining_bounds()
+            want_paths = [
+                _path_identity(p)
+                for p in scratch.n_worst_paths(n_worst, max_paths=max_paths)
+            ]
+            for session in sessions:
+                mode = ("vectorized" if session.calc.vectorize else "scalar")
+                checked += 1
+                if (session.arrivals() != timing.arrivals
+                        or session.slews() != timing.slews):
+                    return InvariantResult(
+                        "incremental_identical", False, checked,
+                        (f"{mode} forward timing diverged from scratch "
+                         f"after swapping {inst_name} to {new_cell.name}"),
+                    )
+                if (session.required_bounds() != want_required
+                        or session.suffix_bounds() != want_suffix):
+                    return InvariantResult(
+                        "incremental_identical", False, checked,
+                        (f"{mode} backward bounds diverged from scratch "
+                         f"after swapping {inst_name} to {new_cell.name}"),
+                    )
+                got = [
+                    _path_identity(p)
+                    for p in session.n_worst_paths(
+                        n_worst, max_paths=max_paths
+                    )
+                ]
+                if got != want_paths:
+                    return InvariantResult(
+                        "incremental_identical", False, checked,
+                        (f"{mode} {n_worst}-worst report diverged from "
+                         f"scratch after swapping {inst_name} to "
+                         f"{new_cell.name}"),
+                    )
+    finally:
+        for name, cell in original.items():
+            if circuit.instances[name].cell is not cell:
+                circuit.instances[name].cell = cell
+        circuit._topo_cache = None
+    return InvariantResult("incremental_identical", True, checked,
+                           f"{edits} edits, seed {seed}")
+
+
 _CHECKS = {
     "gba_bounds": check_gba_bounds,
     "structural_superset": check_structural_superset,
     "parallel_identical": check_parallel_identical,
     "pruning_identical": check_pruning_identical,
+    "incremental_identical": check_incremental_identical,
 }
 
 
@@ -260,6 +353,10 @@ def run_metamorphic(
         elif name == "parallel_identical":
             result = check_parallel_identical(
                 circuit, charlib, jobs=jobs, max_paths=max_paths
+            )
+        elif name == "incremental_identical":
+            result = check_incremental_identical(
+                circuit, charlib, n_worst=n_worst, max_paths=max_paths
             )
         else:
             result = check_pruning_identical(

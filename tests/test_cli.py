@@ -132,3 +132,46 @@ class TestObservabilityFlags:
         registry = clean_obs.metrics.REGISTRY
         assert registry.counter("cli.charlib_memo_misses").value == 1
         assert registry.counter("cli.charlib_memo_hits").value == 1
+
+
+class TestSizeCommand:
+    def test_size_text_report(self, bench_file, capsys, tech90):
+        assert main([
+            "size", bench_file, "--no-map", "--tech", "90nm",
+            "--required", "80", "--max-moves", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sizing:" in out
+        assert "strategy greedy" in out
+
+    def test_size_json_and_metrics(self, bench_file, tmp_path, capsys,
+                                   clean_obs, tech90):
+        report = tmp_path / "sizing.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "size", bench_file, "--no-map", "--tech", "90nm",
+            "--required", "80", "--max-moves", "2",
+            "--json", str(report), "--metrics-json", str(metrics),
+        ]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["strategy"] == "greedy"
+        assert payload["required_ps"] == 80.0
+        for move in payload["moves"]:
+            assert move["to"].endswith("_X2") or move["from"].endswith("_X2")
+        data = json.loads(metrics.read_text())
+        assert data["sizer.moves_tried"] >= data["sizer.moves_accepted"]
+        if payload["moves"]:
+            assert data["incremental.edits"] >= 1
+
+    def test_size_scratch_matches_incremental(self, bench_file, capsys,
+                                              tech90):
+        assert main([
+            "size", bench_file, "--no-map", "--tech", "90nm",
+            "--required", "80", "--max-moves", "2",
+        ]) == 0
+        incremental = capsys.readouterr().out
+        assert main([
+            "size", bench_file, "--no-map", "--tech", "90nm",
+            "--required", "80", "--max-moves", "2", "--scratch",
+        ]) == 0
+        assert capsys.readouterr().out == incremental

@@ -1,0 +1,173 @@
+"""Timing-driven sizer: strategies, budgets, no-candidate reporting,
+and incremental-vs-scratch agreement."""
+
+import pytest
+
+from repro.charlib.characterize import FAST_GRID, characterize_library
+from repro.core.sizing import upsize_critical_path
+from repro.eval.iscas import build_circuit
+from repro.gates.library import sized_library
+from repro.netlist.circuit import Circuit
+from repro.opt.sizer import TimingDrivenSizer, size_circuit
+from repro.resilience.budgets import SearchBudgets
+
+SIZING_CELLS = ["INV", "INV_X2", "NAND2", "NAND2_X2", "AO22", "AO22_X2"]
+
+
+@pytest.fixture(scope="module")
+def sized_lib():
+    return sized_library()
+
+
+@pytest.fixture(scope="module")
+def charlib_sized(sized_lib, tech90):
+    return characterize_library(
+        sized_lib, tech90, grid=FAST_GRID, cells=SIZING_CELLS,
+    )
+
+
+def chain_circuit(sized_lib):
+    c = Circuit("chain", sized_lib)
+    for n in ("a", "b", "c", "d"):
+        c.add_input(n)
+    c.add_gate("NAND2", "n1", {"A": "a", "B": "b"}, name="U1")
+    c.add_gate("INV", "n2", {"A": "n1"}, name="U2")
+    c.add_gate("AO22", "n3", {"A": "n2", "B": "b", "C": "c", "D": "d"},
+               name="U3")
+    c.add_gate("INV", "n4", {"A": "n3"}, name="U4")
+    for k in range(5):
+        c.add_gate("INV", f"z{k}", {"A": "n4"}, name=f"UL{k}")
+        c.add_output(f"z{k}")
+    c.check()
+    return c
+
+
+class TestGreedy:
+    def test_reduces_arrival(self, sized_lib, charlib_sized):
+        circuit = chain_circuit(sized_lib)
+        sizer = TimingDrivenSizer(
+            circuit, charlib_sized, required_time=1e-12, max_moves=6,
+        )
+        result = sizer.run()
+        assert result.strategy == "greedy"
+        assert result.accepted_moves
+        assert result.final_arrival < result.initial_arrival
+        for move in result.accepted_moves:
+            assert move.arrival_after < move.arrival_before
+
+    def test_matches_legacy_wrapper(self, sized_lib, charlib_sized):
+        """The refactored loop and the compatibility wrapper make the
+        identical decisions on identical circuits."""
+        circuit_a = chain_circuit(sized_lib)
+        circuit_b = chain_circuit(sized_lib)
+        legacy = upsize_critical_path(
+            circuit_a, charlib_sized, required_time=1e-12, max_iterations=4,
+        )
+        direct = TimingDrivenSizer(
+            circuit_b, charlib_sized, required_time=1e-12, max_moves=4,
+        ).run().to_sizing_result()
+        assert legacy.initial_arrival == direct.initial_arrival
+        assert legacy.final_arrival == direct.final_arrival
+        assert (
+            [(c.gate_name, c.to_cell) for c in legacy.changes]
+            == [(c.gate_name, c.to_cell) for c in direct.changes]
+        )
+        assert {
+            name: circuit_a.instances[name].cell.name
+            for name in circuit_a.instances
+        } == {
+            name: circuit_b.instances[name].cell.name
+            for name in circuit_b.instances
+        }
+
+    def test_met_without_moves(self, sized_lib, charlib_sized):
+        circuit = chain_circuit(sized_lib)
+        result = size_circuit(circuit, charlib_sized, required_time=1.0)
+        assert result.met
+        assert result.stop_reason == "met"
+        assert not result.moves
+
+    def test_scratch_mode_identical(self, sized_lib, charlib_sized):
+        circuit_a = chain_circuit(sized_lib)
+        circuit_b = chain_circuit(sized_lib)
+        inc = TimingDrivenSizer(
+            circuit_a, charlib_sized, required_time=1e-12, max_moves=4,
+        ).run()
+        scratch = TimingDrivenSizer(
+            circuit_b, charlib_sized, required_time=1e-12, max_moves=4,
+            scratch=True,
+        ).run()
+        assert inc.describe() == scratch.describe()
+        assert (
+            [(m.gate_name, m.to_cell, m.accepted) for m in inc.moves]
+            == [(m.gate_name, m.to_cell, m.accepted) for m in scratch.moves]
+        )
+
+
+class TestNoCandidate:
+    def test_warns_and_counts(self, charlib_poly_90, clean_obs):
+        """Satellite fix: a critical path with no drive variants must
+        surface a structured warning + counter, not a silent no-op."""
+        circuit = build_circuit("c17")  # default library: no _X2 cells
+        result = size_circuit(
+            circuit, charlib_poly_90, required_time=1e-12, max_moves=3,
+        )
+        assert result.stop_reason == "no_candidate"
+        assert not result.moves
+        assert not result.met
+        snapshot = clean_obs.snapshot()
+        assert snapshot["sizer.no_candidate"] == 1
+        assert snapshot["sizer.moves_tried"] == 0
+
+
+class TestAnneal:
+    def test_deterministic_for_seed(self, sized_lib, charlib_sized):
+        runs = []
+        for _ in range(2):
+            circuit = chain_circuit(sized_lib)
+            result = TimingDrivenSizer(
+                circuit, charlib_sized, required_time=1e-12,
+                strategy="anneal", seed=11, max_moves=6,
+            ).run()
+            runs.append([
+                (m.gate_name, m.from_cell, m.to_cell, m.accepted)
+                for m in result.moves
+            ])
+        assert runs[0] == runs[1]
+        assert runs[0]  # the walk actually attempted moves
+
+    def test_never_worse_than_initial_when_accepting_improvements(
+        self, sized_lib, charlib_sized,
+    ):
+        circuit = chain_circuit(sized_lib)
+        result = TimingDrivenSizer(
+            circuit, charlib_sized, required_time=1e-12,
+            strategy="anneal", seed=3, max_moves=8,
+        ).run()
+        # Metropolis can accept uphill moves, but the final arrival is
+        # what the accepted sequence produced -- consistency check.
+        if result.accepted_moves:
+            assert result.final_arrival == (
+                result.accepted_moves[-1].arrival_after
+            )
+        else:
+            assert result.final_arrival == result.initial_arrival
+
+    def test_unknown_strategy_rejected(self, sized_lib, charlib_sized):
+        circuit = chain_circuit(sized_lib)
+        with pytest.raises(ValueError, match="unknown sizing strategy"):
+            TimingDrivenSizer(
+                circuit, charlib_sized, required_time=1e-12,
+                strategy="tabu",
+            )
+
+
+class TestBudgets:
+    def test_wall_budget_stops_loop(self, sized_lib, charlib_sized):
+        circuit = chain_circuit(sized_lib)
+        result = TimingDrivenSizer(
+            circuit, charlib_sized, required_time=1e-12, max_moves=50,
+            budgets=SearchBudgets(wall_seconds=0.0),
+        ).run()
+        assert result.stop_reason == "budget"
+        assert not result.moves

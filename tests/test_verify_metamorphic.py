@@ -12,6 +12,7 @@ from repro.netlist.techmap import techmap
 from repro.verify import INVARIANTS, run_metamorphic
 from repro.verify.metamorphic import (
     check_gba_bounds,
+    check_incremental_identical,
     check_pruning_identical,
     check_structural_superset,
 )
@@ -84,6 +85,40 @@ class TestDetectionPower:
         result = check_pruning_identical(c17(), charlib_poly_90, n_worst=3)
         assert result.ok, result.describe()
         assert result.checked == 3
+
+    def test_incremental_identical_on_c17(self, charlib_poly_90):
+        circuit = c17()
+        original = {
+            name: circuit.instances[name].cell.name
+            for name in circuit.instances
+        }
+        result = check_incremental_identical(
+            circuit, charlib_poly_90, seed=1, edits=3
+        )
+        assert result.ok, result.describe()
+        assert result.checked >= 2  # scalar + vectorized per edit
+        # The check mutates the circuit, then must restore it.
+        assert original == {
+            name: circuit.instances[name].cell.name
+            for name in circuit.instances
+        }
+
+    def test_incremental_identical_catches_skipped_repair(
+        self, charlib_poly_90, monkeypatch
+    ):
+        from repro.core.tgraph import TimingGraph
+
+        # Sabotage the dirty-cone forward repair: the session keeps its
+        # stale arrivals while the scratch reference re-analyzes.
+        monkeypatch.setattr(
+            TimingGraph, "forward_update_net",
+            lambda self, calc, net, timing: False,
+        )
+        result = check_incremental_identical(
+            c17(), charlib_poly_90, seed=1, edits=3
+        )
+        assert not result.ok
+        assert "diverged" in result.detail
 
 
 class TestResultFormatting:
