@@ -1,0 +1,103 @@
+"""Warm served requests vs cold one-shot CLI invocations (c7552).
+
+The service exists to amortize startup: a cold ``repro analyze`` pays
+interpreter boot, imports, charlib load, circuit indexing, and SoA
+compilation before the first arc is evaluated, every single time.  A
+warm server pays them once.  This benchmark measures both sides on the
+largest bundled circuit, scaled (``@0.2``) with a deliberately tiny
+search (``--max-paths 5``) so that the per-request search is small
+relative to startup -- the comparison isolates the overhead the server
+amortizes, not search throughput (at full scale the exhaustive search
+itself runs for minutes and would dominate both sides equally):
+
+* **cold** -- a fresh ``python -m repro.cli analyze`` subprocess
+  (charlib *disk* cache warm, so no characterization cost pollutes it);
+* **warm compute** -- the same config against a hot server context,
+  varied ``top`` so the result memo cannot short-circuit the search;
+* **warm memo** -- the exact repeat, served from the result memo.
+
+Asserts the acceptance criterion (warm compute >= 10x cold) plus served
+/CLI byte identity, and emits ``BENCH_service.json`` under
+``$REPRO_BENCH_DIR``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+CIRCUIT = "iscas:c7552@0.2"
+BASE_ARGS = ["--max-paths", "5", "--top", "3"]
+BASE_PARAMS = {"netlist": CIRCUIT, "max_paths": 5, "top": 3}
+TARGET_SPEEDUP = 10.0
+
+
+def _cold_cli_run() -> "tuple[float, str]":
+    """Wall time and stdout of one cold one-shot CLI invocation."""
+    src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze", CIRCUIT, *BASE_ARGS],
+        capture_output=True, text=True, env=env, check=True)
+    return time.perf_counter() - started, proc.stdout
+
+
+def test_warm_service_amortizes_startup(poly90, bench_snapshot):
+    # poly90 guarantees the charlib *disk* cache is populated, so the
+    # cold runs below measure startup, not one-time characterization.
+    from repro.service import ServiceClient, ServiceConfig
+    from repro.service.server import start_in_thread
+
+    cold_runs = [_cold_cli_run() for _ in range(2)]
+    cold_s = min(t for t, _ in cold_runs)  # best case for the CLI
+    cold_stdout = cold_runs[0][1]
+
+    handle = start_in_thread(ServiceConfig(heartbeat_interval=5.0))
+    try:
+        with ServiceClient(handle.host, handle.port, timeout=600.0) as c:
+            first = c.call("analyze", dict(BASE_PARAMS))
+
+            # Warm compute: hot context, fresh fingerprint (top varies),
+            # so the search actually runs.  Median of 5.
+            compute_times = []
+            for top in (1, 2, 4, 6, 7):
+                started = time.perf_counter()
+                c.call("analyze", dict(BASE_PARAMS, top=top))
+                compute_times.append(time.perf_counter() - started)
+            warm_compute_s = sorted(compute_times)[len(compute_times) // 2]
+
+            started = time.perf_counter()
+            repeat = c.call("analyze", dict(BASE_PARAMS))
+            warm_memo_s = time.perf_counter() - started
+
+            cache_stats = c.call("stats")["contexts"]
+    finally:
+        handle.stop()
+
+    # Correctness before speed: the served report is the CLI's stdout.
+    assert first["report"] + "\n" == cold_stdout
+    assert repeat["cached"] is True
+
+    speedup_compute = cold_s / warm_compute_s
+    speedup_memo = cold_s / warm_memo_s
+    bench_snapshot("service", {
+        "circuit": CIRCUIT,
+        "cold_cli_s": round(cold_s, 4),
+        "warm_compute_s": round(warm_compute_s, 6),
+        "warm_memo_s": round(warm_memo_s, 6),
+        "speedup_compute": round(speedup_compute, 1),
+        "speedup_memo": round(speedup_memo, 1),
+        "target_speedup": TARGET_SPEEDUP,
+        "context_cache": cache_stats,
+    })
+    assert speedup_compute >= TARGET_SPEEDUP, (
+        f"warm served request only {speedup_compute:.1f}x faster than "
+        f"cold CLI ({warm_compute_s * 1e3:.1f} ms vs {cold_s:.2f} s); "
+        f"acceptance floor is {TARGET_SPEEDUP}x")
+    assert speedup_memo >= speedup_compute

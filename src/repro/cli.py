@@ -10,10 +10,20 @@ Analyze a netlist file with either tool::
     python -m repro.cli obs diff before.json after.json --fail-on 'pathfinder\.:10'
     python -m repro.cli stats circuit.bench
 
+Or keep the expensive state hot in a long-running server::
+
+    python -m repro.cli serve --port 7487
+    python -m repro.cli client 127.0.0.1:7487 analyze iscas:c432 --n-worst 5
+    python -m repro.cli client 127.0.0.1:7487 stats
+
 ``.bench`` files are parsed as ISCAS benchmarks (and technology-mapped
 onto the complex-gate library unless ``--no-map``); ``.v`` files as
 structural Verilog using library cell names directly; ``iscas:<name>``
 builds a circuit from the bundled evaluation suite.
+
+A served analysis is byte-identical to the one-shot CLI for the same
+configuration: both run :func:`repro.service.requests.execute_analysis`
+(see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -23,81 +33,35 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro import obs
-from repro.charlib.characterize import (
-    CharacterizationGrid,
-    FAST_GRID,
-    characterize_library,
-)
-from repro.charlib.store import CharacterizedLibrary
-from repro.core.report import format_slack_report, paths_to_json, slack_report
+from repro.core.report import paths_to_json
 from repro.gates.library import default_library
-from repro.netlist.bench import parse_bench
-from repro.netlist.circuit import Circuit
-from repro.netlist.techmap import techmap
-from repro.netlist.verilog import parse_verilog
 from repro.resilience.errors import (
     EXIT_CONFIG,
     EXIT_INTERRUPTED,
+    EXIT_UNAVAILABLE,
     OutputWriteError,
     ResilienceError,
     SearchInterrupted,
     classify,
 )
+# Re-exported for backward compatibility: these lived here before the
+# service split and are part of the de-facto public surface
+# (tests and scripts import them from repro.cli).
+from repro.service.requests import (  # noqa: F401
+    _CHARLIB_MEMO,
+    AnalysisRequest,
+    cached_charlib,
+    execute_analysis,
+    execute_size,
+    execute_verify,
+    load_circuit,
+)
 from repro.tech.presets import TECHNOLOGIES
 
 _log = obs.get_logger("repro.cli")
-
-#: In-process characterization memo: repeat ``main()`` invocations (or
-#: analyzing several netlists in one process) skip even the JSON load
-#: of the on-disk cache.  Keyed on everything that selects a library.
-_CharlibKey = Tuple[str, str, CharacterizationGrid, str, str]
-_CHARLIB_MEMO: Dict[_CharlibKey, CharacterizedLibrary] = {}
-
-
-def load_circuit(path: str, map_to_complex: bool = True) -> Circuit:
-    """Load a ``.bench`` or ``.v`` netlist, or build an evaluation-suite
-    circuit from an ``iscas:<name>[@scale]`` spec (e.g. ``iscas:c432``,
-    ``iscas:c6288@0.25``)."""
-    if path.startswith("iscas:"):
-        from repro.eval.iscas import build_circuit
-
-        spec = path[len("iscas:"):]
-        name, _, scale = spec.partition("@")
-        return build_circuit(name, scale=float(scale) if scale else 1.0)
-    file_path = Path(path)
-    text = file_path.read_text()
-    if file_path.suffix == ".v":
-        return parse_verilog(text)
-    circuit = parse_bench(text, name=file_path.stem)
-    return techmap(circuit) if map_to_complex else circuit
-
-
-def cached_charlib(
-    library,
-    tech,
-    grid: CharacterizationGrid = FAST_GRID,
-    model: str = "polynomial",
-    vector_mode: str = "all",
-) -> CharacterizedLibrary:
-    """Memoized :func:`characterize_library` for CLI invocations."""
-    key = (library.name, tech.name, grid, model, vector_mode)
-    cached = _CHARLIB_MEMO.get(key)
-    if cached is not None:
-        obs.counter("cli.charlib_memo_hits").inc()
-        _log.info("charlib_memo.hit", library=library.name, tech=tech.name,
-                  model=model, vector_mode=vector_mode)
-        return cached
-    obs.counter("cli.charlib_memo_misses").inc()
-    _log.info("charlib_memo.miss", library=library.name, tech=tech.name,
-              model=model, vector_mode=vector_mode)
-    charlib = characterize_library(
-        library, tech, grid=grid, model=model, vector_mode=vector_mode
-    )
-    _CHARLIB_MEMO[key] = charlib
-    return charlib
 
 
 def _setup_obs(args) -> None:
@@ -151,197 +115,68 @@ def _finish_obs(args) -> int:
     return 0
 
 
-def _budgets_from_args(args):
-    """A :class:`SearchBudgets` from the ``--*-budget`` flags, or None
-    when no axis is capped."""
-    from repro.resilience.budgets import SearchBudgets
-
-    budgets = SearchBudgets(
-        wall_seconds=args.wall_budget,
-        max_extensions=args.extension_budget,
-        max_backtracks=args.backtrack_budget,
-    )
-    return budgets if budgets.bounded() else None
-
-
-def _wants_supervision(args, budgets) -> bool:
-    """Whether any resilience feature was requested -- the plain serial
-    search stays on its historical in-process path otherwise."""
-    return (budgets is not None
-            or args.jobs > 1
-            or args.checkpoint is not None
-            or args.resume is not None
-            or args.shard_timeout is not None
-            or args.heartbeat_timeout is not None
-            or args.progress
-            or args.missing_arc_policy != "error")
+def _analyze_params(args) -> dict:
+    """The result-affecting ``analyze`` flags as
+    :class:`~repro.service.requests.AnalysisRequest` fields -- the one
+    mapping both the one-shot path and ``repro client analyze`` use."""
+    return {
+        "netlist": args.netlist,
+        "tech": args.tech,
+        "tool": args.tool,
+        "top": args.top,
+        "n_worst": args.n_worst,
+        "compare": args.compare,
+        "max_paths": args.max_paths,
+        "backtrack_limit": args.backtrack_limit,
+        "required_ps": args.required,
+        "no_map": args.no_map,
+        "jobs": args.jobs,
+        "missing_arc_policy": args.missing_arc_policy,
+        "vectorize": not args.no_vectorize,
+        "wall_budget": args.wall_budget,
+        "extension_budget": args.extension_budget,
+        "backtrack_budget": args.backtrack_budget,
+        "shard_timeout": args.shard_timeout,
+        "shard_retries": args.shard_retries,
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+        "progress": args.progress,
+        "heartbeat_timeout": args.heartbeat_timeout,
+    }
 
 
 def _analyze(args) -> int:
-    from repro.resilience.errors import ConfigError
-
-    if args.jobs < 1:
-        raise ConfigError(f"--jobs must be >= 1, got {args.jobs}")
     _setup_obs(args)
-    vectorize = not args.no_vectorize
-    circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
-    tech = TECHNOLOGIES[args.tech]
-    library = default_library()
-    if args.tool == "developed":
-        charlib = cached_charlib(library, tech)
-        from repro.core.sta import TruePathSTA
-
-        sta = TruePathSTA(circuit, charlib,
-                          missing_arc_policy=args.missing_arc_policy,
-                          vectorize=vectorize)
-        budgets = _budgets_from_args(args)
-        if _wants_supervision(args, budgets):
-            analysis = sta.analyze(
-                jobs=args.jobs,
-                budgets=budgets,
-                max_paths=args.max_paths,
-                n_worst=args.n_worst,
-                shard_timeout=args.shard_timeout,
-                shard_retries=args.shard_retries,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                progress=args.progress,
-                heartbeat_timeout=args.heartbeat_timeout,
-            )
-            paths = analysis.paths
-            if args.n_worst is not None:
-                paths = sorted(paths, key=lambda p: p.worst_arrival,
-                               reverse=True)[:args.n_worst]
-            print(sta.report(paths, limit=args.top))
-            if analysis.degraded:
-                print()
-                print(analysis.describe_completeness())
-                print("(GBA bound = sound upper limit on any arrival "
-                      "the budgeted search did not reach)")
-        elif args.n_worst is not None:
-            paths = sta.n_worst_paths(
-                args.n_worst, max_paths=args.max_paths, jobs=args.jobs
-            )
-            print(sta.report(paths, limit=args.top))
-        else:
-            paths = sta.enumerate_paths(
-                max_paths=args.max_paths, jobs=args.jobs
-            )
-            print(sta.report(paths, limit=args.top))
-    elif args.tool == "gba":
-        charlib = cached_charlib(library, tech)
-        from repro.core.graphsta import GraphSTA, gba_pessimism
-        from repro.core.sta import TruePathSTA
-
-        gba = GraphSTA(circuit, charlib, vectorize=vectorize).run()
-        print(f"GBA endpoint arrivals for {circuit.name} "
-              f"({charlib.tech_name}, one topological pass)")
-        for endpoint in circuit.outputs:
-            rise, fall = gba.arrivals.get(endpoint, (None, None))
-            cells = " ".join(
-                f"{pol}={arr * 1e12:8.1f} ps" if arr is not None else f"{pol}=    n/a"
-                for pol, arr in (("rise", rise), ("fall", fall))
-            )
-            print(f"  {endpoint:<12s} {cells}")
-        paths = []
-        if args.compare:
-            sta = TruePathSTA(circuit, charlib, vectorize=vectorize)
-            paths = sta.enumerate_paths(max_paths=args.max_paths,
-                                        jobs=args.jobs)
-            comparison = gba_pessimism(gba, paths)
-            print(f"\ngba_pessimism vs {len(paths)} true paths "
-                  "(GBA/true - 1; >= 0 up to model noise):")
-            for endpoint, row in sorted(comparison.items()):
-                print(f"  {endpoint:<12s} gba={row['gba'] * 1e12:8.1f} ps  "
-                      f"true={row['true'] * 1e12:8.1f} ps  "
-                      f"pessimism={row['pessimism'] * 100:+6.2f}%")
-    else:
-        charlib = cached_charlib(library, tech, model="lut",
-                                 vector_mode="default")
-        from repro.baseline.sta2step import TwoStepSTA
-
-        tool = TwoStepSTA(circuit, charlib,
-                          backtrack_limit=args.backtrack_limit)
-        report = tool.run(max_structural_paths=args.max_paths or 1000)
-        paths = tool.true_paths(report)
-        print(f"two-step baseline: {report.as_row()}")
-        for k, p in enumerate(
-            sorted(paths, key=lambda q: -q.worst_arrival)[: args.top], 1
-        ):
-            print(f"{k:3d}. {p.worst_arrival * 1e12:8.1f} ps  {p.describe()}")
-    if args.required is not None:
-        entries = slack_report(paths, args.required * 1e-12)
-        print()
-        print(format_slack_report(entries[: args.top]))
+    outcome = execute_analysis(AnalysisRequest(**_analyze_params(args)))
+    print(outcome.report)
     if args.json:
-        _write_artifact(args.json, paths_to_json(paths, indent=2),
+        _write_artifact(args.json, paths_to_json(outcome.paths, indent=2),
                         "path list")
-        print(f"\nwrote {len(paths)} paths to {args.json}")
+        print(f"\nwrote {len(outcome.paths)} paths to {args.json}")
     return _finish_obs(args)
 
 
 def _size(args) -> int:
-    from repro.gates.library import sized_library
-    from repro.opt.sizer import TimingDrivenSizer
-
     _setup_obs(args)
-    circuit = load_circuit(args.netlist, map_to_complex=not args.no_map)
-    tech = TECHNOLOGIES[args.tech]
-    library = sized_library()
-    circuit.library = library
-    # Characterize only what the loop can actually touch: the cells in
-    # the netlist plus their drive variants (or bases, for a netlist
-    # that already carries sized cells).  The on-disk characterization
-    # cache makes repeat invocations cheap.
-    used = sorted({inst.cell.name for inst in circuit.instances.values()})
-    cells = set(used)
-    for name in used:
-        variant = f"{name}{args.variant_suffix}"
-        if variant in library:
-            cells.add(variant)
-        if name.endswith(args.variant_suffix):
-            base = name[: -len(args.variant_suffix)]
-            if base in library:
-                cells.add(base)
-    charlib = characterize_library(
-        library, tech, grid=FAST_GRID, cells=sorted(cells)
-    )
-    budgets = _budgets_from_args(args)
-    sizer = TimingDrivenSizer(
-        circuit, charlib, args.required * 1e-12,
+    outcome = execute_size(
+        args.netlist,
+        args.required,
+        tech=args.tech,
         strategy=args.strategy,
         seed=args.seed,
         max_moves=args.max_moves,
         variant_suffix=args.variant_suffix,
         max_paths=args.max_paths,
+        no_map=args.no_map,
         vectorize=not args.no_vectorize,
-        budgets=budgets,
         scratch=args.scratch,
+        wall_budget=args.wall_budget,
+        extension_budget=args.extension_budget,
+        backtrack_budget=args.backtrack_budget,
     )
-    result = sizer.run()
-    print(result.describe())
+    print(outcome.report)
     if args.json:
-        payload = {
-            "circuit": circuit.name,
-            "strategy": result.strategy,
-            "stop_reason": result.stop_reason,
-            "met": result.met,
-            "required_ps": result.required_time * 1e12,
-            "initial_ps": result.initial_arrival * 1e12,
-            "final_ps": result.final_arrival * 1e12,
-            "moves": [
-                {
-                    "gate": m.gate_name,
-                    "from": m.from_cell,
-                    "to": m.to_cell,
-                    "before_ps": m.arrival_before * 1e12,
-                    "after_ps": m.arrival_after * 1e12,
-                    "accepted": m.accepted,
-                }
-                for m in result.moves
-            ],
-        }
-        _write_artifact(args.json, json.dumps(payload, indent=2),
+        _write_artifact(args.json, json.dumps(outcome.payload, indent=2),
                         "sizing report")
         print(f"\nwrote sizing report to {args.json}")
     return _finish_obs(args)
@@ -349,36 +184,22 @@ def _size(args) -> int:
 
 def _verify(args) -> int:
     _setup_obs(args)
-    library = default_library()
-    tech = TECHNOLOGIES[args.tech]
-    charlib = cached_charlib(library, tech)
     failed = False
 
     if args.oracle or args.metamorphic:
         specs = args.circuit or ["iscas:c17", "iscas:c432@0.05"]
-        for spec in specs:
-            circuit = load_circuit(spec)
-            if args.oracle:
-                from repro.verify import run_oracle
-
-                report = run_oracle(circuit, charlib,
-                                    max_inputs=args.max_inputs)
-                print(report.summary())
-                for mismatch in report.mismatches:
-                    print(f"  {mismatch.describe()}")
-                failed = failed or not report.ok
-            if args.metamorphic:
-                from repro.verify import run_metamorphic
-
-                results = run_metamorphic(circuit, charlib, jobs=args.jobs)
-                print(f"metamorphic {circuit.name}:")
-                for result in results:
-                    print(f"  {result.describe()}")
-                failed = failed or any(not r.ok for r in results)
+        outcome = execute_verify(
+            specs, oracle=args.oracle, metamorphic=args.metamorphic,
+            max_inputs=args.max_inputs, jobs=args.jobs, tech=args.tech,
+        )
+        print(outcome.report)
+        failed = failed or not outcome.ok
 
     if args.faults:
         from repro.verify import run_faults
 
+        charlib = cached_charlib(default_library(),
+                                 TECHNOLOGIES[args.tech])
         specs = args.circuit or ["iscas:c432@0.1"]
         for spec in specs:
             circuit = load_circuit(spec)
@@ -389,9 +210,23 @@ def _verify(args) -> int:
             print(report.describe())
             failed = failed or not report.ok
 
+    if args.server_faults:
+        from repro.verify import run_server_faults
+
+        specs = args.circuit or ["iscas:c432@0.1"]
+        for spec in specs:
+            report = run_server_faults(
+                spec, seed=args.seed, jobs=max(args.jobs, 2),
+                max_paths=args.max_paths,
+            )
+            print(report.describe())
+            failed = failed or not report.ok
+
     if args.fuzz is not None:
         from repro.verify import run_fuzz
 
+        charlib = cached_charlib(default_library(),
+                                 TECHNOLOGIES[args.tech])
         report = run_fuzz(charlib, n=args.fuzz, seed=args.seed,
                           jobs=args.jobs)
         print(report.summary())
@@ -456,77 +291,189 @@ def _stats(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    from repro.service import ServiceConfig, start_in_thread
+
+    _setup_obs(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        result_cache_size=args.result_cache_size,
+        max_concurrent=args.max_concurrent,
+        heartbeat_interval=args.heartbeat_interval,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    handle = start_in_thread(config)
+    print(f"listening on {handle.host}:{handle.port}", flush=True)
+    if args.port_file:
+        _write_artifact(args.port_file, f"{handle.port}\n", "port file")
+    try:
+        # Until a `shutdown` request arrives (or Ctrl-C).
+        handle.thread.join()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        handle.stop()
+    return 0
+
+
+def _client(args) -> int:
+    from repro.service import ServiceClient
+
+    host, sep, port = args.server.rpartition(":")
+    if not sep or not port.isdigit():
+        from repro.resilience.errors import ConfigError
+
+        raise ConfigError(f"server must be HOST:PORT, got {args.server!r}")
+    command = args.client_command
+    with ServiceClient(host, int(port), timeout=args.timeout) as client:
+        if command == "analyze":
+            result = client.call(
+                "analyze", _analyze_params(args),
+                deadline_s=args.deadline, effort=args.effort,
+            )
+            print(result["report"])
+            if args.metrics_json:
+                _write_artifact(
+                    args.metrics_json,
+                    json.dumps(result.get("metrics", {}), indent=2),
+                    "request metrics")
+                print(f"\nwrote request metrics to {args.metrics_json}")
+            return 0
+        if command == "verify":
+            specs = args.circuit or ["iscas:c17", "iscas:c432@0.05"]
+            result = client.call("verify", {
+                "circuits": specs,
+                "oracle": args.oracle,
+                "metamorphic": args.metamorphic,
+                "max_inputs": args.max_inputs,
+                "jobs": args.jobs,
+                "tech": args.tech,
+            }, deadline_s=args.deadline)
+            print(result["report"])
+            return 0 if result.get("ok") else 1
+        if command == "size":
+            result = client.call("size", {
+                "netlist": args.netlist,
+                "required_ps": args.required,
+                "tech": args.tech,
+                "strategy": args.strategy,
+                "seed": args.seed,
+                "max_moves": args.max_moves,
+            }, deadline_s=args.deadline)
+            print(result["report"])
+            return 0
+        if command == "stats":
+            result = client.call("stats")
+            payload = {key: value for key, value in result.items()
+                       if key not in ("kind", "id")}
+            text = json.dumps(payload, indent=2, sort_keys=True)
+            if args.json:
+                _write_artifact(args.json, text, "server stats")
+                print(f"wrote server stats to {args.json}")
+            else:
+                print(text)
+            return 0
+        if command == "ping":
+            result = client.call("ping")
+            print(f"pong from {args.server} "
+                  f"(uptime {result['uptime_s']:g}s)")
+            return 0
+        # shutdown
+        client.call("shutdown")
+        print(f"server at {args.server} stopping")
+        return 0
+
+
+def _add_analyze_flags(parser) -> None:
+    """The result-affecting ``analyze`` flags, shared verbatim between
+    ``repro analyze`` and ``repro client HOST:PORT analyze`` so a served
+    request is specified exactly like a one-shot run."""
+    parser.add_argument("netlist")
+    parser.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
+    parser.add_argument("--tool", default="developed",
+                        choices=["developed", "baseline", "gba"])
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--n-worst", type=int, default=None, metavar="N",
+                        help="developed tool only: report the N worst "
+                             "true paths using the backward required-time "
+                             "bound to prune the search")
+    parser.add_argument("--compare", action="store_true",
+                        help="with --tool gba: also run the true-path "
+                             "search and print the per-endpoint "
+                             "gba_pessimism delta")
+    parser.add_argument("--max-paths", type=int, default=20000)
+    parser.add_argument("--backtrack-limit", type=int, default=1000)
+    parser.add_argument("--required", type=float, default=None,
+                        help="required time in ps for a slack report")
+    parser.add_argument("--no-map", action="store_true",
+                        help="skip technology mapping of .bench input")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard the developed tool's search across "
+                             "primary inputs in N worker processes")
+    # No argparse choices=: an unknown policy must exit through the
+    # resilience taxonomy (ConfigError, EX_CONFIG=78) with a one-line
+    # message naming the valid values, not argparse's usage dump.
+    parser.add_argument("--missing-arc-policy", default="error",
+                        metavar="POLICY",
+                        help="on a library gap: abort (error) or fall "
+                             "back to the nearest characterized arc of "
+                             "the same cell (warn-substitute)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="run the scalar reference sweeps instead "
+                             "of the structure-of-arrays batched "
+                             "kernels (results are byte-identical; "
+                             "this is an escape hatch / A-B switch)")
+    parser.add_argument("--wall-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="anytime mode: stop searching after this "
+                             "much wall-clock time and report partial "
+                             "paths with per-origin completeness + GBA "
+                             "bounds")
+    parser.add_argument("--extension-budget", type=int, default=None,
+                        metavar="N",
+                        help="anytime mode: cap search extensions")
+    parser.add_argument("--backtrack-budget", type=int, default=None,
+                        metavar="N",
+                        help="anytime mode: cap justification backtracks")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="stream completed origins to this JSON "
+                             "snapshot (atomic writes; survives crashes "
+                             "and Ctrl-C)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="adopt completed origins from a checkpoint "
+                             "written by an identical configuration")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per parallel shard "
+                             "attempt (hung workers are terminated and "
+                             "the shard retried)")
+    parser.add_argument("--shard-retries", type=int, default=2,
+                        metavar="N",
+                        help="retry attempts per failed shard before "
+                             "the in-process serial fallback "
+                             "(default 2)")
+    parser.add_argument("--progress", action="store_true",
+                        help="developed tool: live per-origin progress "
+                             "line on stderr (heartbeats from worker "
+                             "processes under --jobs)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="treat a parallel shard as stalled when its "
+                             "workers send no heartbeat for this long "
+                             "(terminate + retry, like --shard-timeout "
+                             "but distinguishing silent hangs from slow "
+                             "progress)")
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="run STA on a netlist")
-    analyze.add_argument("netlist")
-    analyze.add_argument("--tech", default="90nm", choices=list(TECHNOLOGIES))
-    analyze.add_argument("--tool", default="developed",
-                         choices=["developed", "baseline", "gba"])
-    analyze.add_argument("--top", type=int, default=10)
-    analyze.add_argument("--n-worst", type=int, default=None, metavar="N",
-                         help="developed tool only: report the N worst "
-                              "true paths using the backward required-time "
-                              "bound to prune the search")
-    analyze.add_argument("--compare", action="store_true",
-                         help="with --tool gba: also run the true-path "
-                              "search and print the per-endpoint "
-                              "gba_pessimism delta")
-    analyze.add_argument("--max-paths", type=int, default=20000)
-    analyze.add_argument("--backtrack-limit", type=int, default=1000)
-    analyze.add_argument("--required", type=float, default=None,
-                         help="required time in ps for a slack report")
+    _add_analyze_flags(analyze)
     analyze.add_argument("--json", default=None,
                          help="dump the path list to this JSON file")
-    analyze.add_argument("--no-map", action="store_true",
-                         help="skip technology mapping of .bench input")
-    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="shard the developed tool's search across "
-                              "primary inputs in N worker processes")
-    # No argparse choices=: an unknown policy must exit through the
-    # resilience taxonomy (ConfigError, EX_CONFIG=78) with a one-line
-    # message naming the valid values, not argparse's usage dump.
-    analyze.add_argument("--missing-arc-policy", default="error",
-                         metavar="POLICY",
-                         help="on a library gap: abort (error) or fall "
-                              "back to the nearest characterized arc of "
-                              "the same cell (warn-substitute)")
-    analyze.add_argument("--no-vectorize", action="store_true",
-                         help="run the scalar reference sweeps instead "
-                              "of the structure-of-arrays batched "
-                              "kernels (results are byte-identical; "
-                              "this is an escape hatch / A-B switch)")
-    analyze.add_argument("--wall-budget", type=float, default=None,
-                         metavar="SECONDS",
-                         help="anytime mode: stop searching after this "
-                              "much wall-clock time and report partial "
-                              "paths with per-origin completeness + GBA "
-                              "bounds")
-    analyze.add_argument("--extension-budget", type=int, default=None,
-                         metavar="N",
-                         help="anytime mode: cap search extensions")
-    analyze.add_argument("--backtrack-budget", type=int, default=None,
-                         metavar="N",
-                         help="anytime mode: cap justification backtracks")
-    analyze.add_argument("--checkpoint", default=None, metavar="PATH",
-                         help="stream completed origins to this JSON "
-                              "snapshot (atomic writes; survives crashes "
-                              "and Ctrl-C)")
-    analyze.add_argument("--resume", default=None, metavar="PATH",
-                         help="adopt completed origins from a checkpoint "
-                              "written by an identical configuration")
-    analyze.add_argument("--shard-timeout", type=float, default=None,
-                         metavar="SECONDS",
-                         help="wall-clock deadline per parallel shard "
-                              "attempt (hung workers are terminated and "
-                              "the shard retried)")
-    analyze.add_argument("--shard-retries", type=int, default=2,
-                         metavar="N",
-                         help="retry attempts per failed shard before "
-                              "the in-process serial fallback "
-                              "(default 2)")
     analyze.add_argument("--log-level", default=None,
                          choices=["debug", "info", "warning", "error"],
                          help="enable structured logging at this level")
@@ -541,17 +488,6 @@ def main(argv: Optional[list] = None) -> int:
                               "timeline (one lane per worker process, "
                               "instant markers for resilience incidents) "
                               "to PATH")
-    analyze.add_argument("--progress", action="store_true",
-                         help="developed tool: live per-origin progress "
-                              "line on stderr (heartbeats from worker "
-                              "processes under --jobs)")
-    analyze.add_argument("--heartbeat-timeout", type=float, default=None,
-                         metavar="SECONDS",
-                         help="treat a parallel shard as stalled when its "
-                              "workers send no heartbeat for this long "
-                              "(terminate + retry, like --shard-timeout "
-                              "but distinguishing silent hangs from slow "
-                              "progress)")
     analyze.set_defaults(func=_analyze)
 
     size = sub.add_parser(
@@ -624,6 +560,11 @@ def main(argv: Optional[list] = None) -> int:
                              "interrupt) into each --circuit and assert "
                              "every recovery reproduces the fault-free "
                              "output (default circuit: iscas:c432@0.1)")
+    verify.add_argument("--server-faults", action="store_true",
+                        help="run the analysis-server fault scenarios: "
+                             "kill pool workers behind a served request "
+                             "and assert retry recovery / sound degraded "
+                             "GBA bounds (default circuit: iscas:c432@0.1)")
     verify.add_argument("--max-paths", type=int, default=None, metavar="N",
                         help="cap paths per fault-scenario run (keeps "
                              "--faults cheap on large circuits)")
@@ -649,6 +590,112 @@ def main(argv: Optional[list] = None) -> int:
     verify.add_argument("--profile", action="store_true")
     verify.add_argument("--metrics-json", default=None, metavar="PATH")
     verify.set_defaults(func=_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis server (repro.service): hot "
+             "library/circuit/session caches behind a length-prefixed "
+             "JSON socket protocol",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = OS-assigned; the "
+                            "bound port is printed and, with "
+                            "--port-file, written to a file)")
+    serve.add_argument("--cache-size", type=int, default=8,
+                       help="LRU capacity for hot analysis contexts "
+                            "(default 8)")
+    serve.add_argument("--result-cache-size", type=int, default=64,
+                       help="LRU capacity for memoized deterministic "
+                            "results (default 64)")
+    serve.add_argument("--max-concurrent", type=int, default=4,
+                       help="requests computed concurrently (default 4)")
+    serve.add_argument("--heartbeat-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="liveness beat period while a request "
+                            "computes (default 5)")
+    serve.add_argument("--allow-fault-injection", action="store_true",
+                       help="honor the 'fault' request param (test/CI "
+                            "harnesses only)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port to PATH once listening")
+    serve.add_argument("--log-level", default=None,
+                       choices=["debug", "info", "warning", "error"])
+    serve.add_argument("--log-json", default=None, metavar="PATH")
+    serve.set_defaults(func=_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="send one request to a running `repro serve` daemon",
+    )
+    client.add_argument("server", metavar="HOST:PORT")
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    c_analyze = client_sub.add_parser(
+        "analyze", help="served STA run (byte-identical to `repro "
+                        "analyze` for the same flags)")
+    _add_analyze_flags(c_analyze)
+    c_analyze.add_argument("--deadline", type=float, default=None,
+                           metavar="SECONDS",
+                           help="QoS: whole-request wall-clock promise; "
+                                "maps onto SearchBudgets.wall_seconds "
+                                "net of queue wait")
+    c_analyze.add_argument("--effort", default=None,
+                           choices=["low", "medium", "high", "exhaustive"],
+                           help="QoS: named extension-budget tier")
+    c_analyze.add_argument("--timeout", type=float, default=600.0,
+                           help="client socket timeout (default 600)")
+    c_analyze.add_argument("--metrics-json", default=None, metavar="PATH",
+                           help="write the server-side per-request "
+                                "counter delta to PATH")
+    c_analyze.set_defaults(func=_client)
+
+    c_verify = client_sub.add_parser("verify", help="served verification")
+    c_verify.add_argument("--circuit", action="append", default=None,
+                          metavar="SPEC")
+    c_verify.add_argument("--oracle", action="store_true")
+    c_verify.add_argument("--metamorphic", action="store_true")
+    c_verify.add_argument("--max-inputs", type=int, default=18)
+    c_verify.add_argument("--jobs", type=int, default=1, metavar="N")
+    c_verify.add_argument("--tech", default="90nm",
+                          choices=list(TECHNOLOGIES))
+    c_verify.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS")
+    c_verify.add_argument("--timeout", type=float, default=600.0)
+    c_verify.set_defaults(func=_client)
+
+    c_size = client_sub.add_parser("size", help="served gate sizing")
+    c_size.add_argument("netlist")
+    c_size.add_argument("--required", type=float, required=True,
+                        metavar="PS")
+    c_size.add_argument("--tech", default="90nm",
+                        choices=list(TECHNOLOGIES))
+    c_size.add_argument("--strategy", default="greedy",
+                        choices=["greedy", "anneal"])
+    c_size.add_argument("--seed", type=int, default=0)
+    c_size.add_argument("--max-moves", type=int, default=20)
+    c_size.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS")
+    c_size.add_argument("--timeout", type=float, default=600.0)
+    c_size.set_defaults(func=_client)
+
+    c_stats = client_sub.add_parser(
+        "stats", help="server uptime, request counts, cache and metrics "
+                      "state")
+    c_stats.add_argument("--json", default=None, metavar="PATH",
+                         help="write the stats payload to PATH instead "
+                              "of stdout")
+    c_stats.add_argument("--timeout", type=float, default=60.0)
+    c_stats.set_defaults(func=_client)
+
+    c_ping = client_sub.add_parser("ping", help="liveness check")
+    c_ping.add_argument("--timeout", type=float, default=60.0)
+    c_ping.set_defaults(func=_client)
+
+    c_shutdown = client_sub.add_parser("shutdown",
+                                       help="stop the server cleanly")
+    c_shutdown.add_argument("--timeout", type=float, default=60.0)
+    c_shutdown.set_defaults(func=_client)
 
     obs_parser = sub.add_parser(
         "obs",
@@ -705,6 +752,16 @@ def main(argv: Optional[list] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return exc.exit_code
     except Exception as exc:
+        from repro.service.client import ServiceError
+
+        if isinstance(exc, (ServiceError, ConnectionError, OSError)) \
+                and getattr(args, "command", None) == "client":
+            # The server refused, failed, or is simply not there: a
+            # service-availability failure, not a local software error.
+            if debug:
+                raise
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_UNAVAILABLE
         # Foreign exceptions (bad paths, parse errors...) map into the
         # taxonomy for a one-line message and a distinct exit status;
         # --log-level debug keeps the full traceback.

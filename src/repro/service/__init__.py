@@ -1,0 +1,49 @@
+"""STA-as-a-service: a long-running analysis daemon with hot caches.
+
+The CLI pays library characterization, circuit indexing, and SoA/tgraph
+compilation on every invocation.  ``repro serve`` pays them once and
+holds the results hot behind a length-prefixed JSON socket protocol:
+
+* :mod:`repro.service.protocol` -- framing, schema, error taxonomy;
+* :mod:`repro.service.requests` -- the execution layer shared with the
+  one-shot CLI (the byte-identity contract lives here);
+* :mod:`repro.service.qos` -- ``deadline_s``/``effort`` onto
+  :class:`~repro.resilience.budgets.SearchBudgets`;
+* :mod:`repro.service.cache` -- LRU context cache + result memo;
+* :mod:`repro.service.server` -- the asyncio daemon;
+* :mod:`repro.service.client` -- the blocking client.
+
+See ``docs/SERVICE.md`` for the wire contract and ops guidance.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+from repro.service.requests import (
+    AnalysisRequest,
+    build_context,
+    execute_analysis,
+    execute_size,
+    execute_verify,
+)
+from repro.service.server import (
+    AnalysisServer,
+    ServerHandle,
+    ServiceConfig,
+    start_in_thread,
+)
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisServer",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "build_context",
+    "execute_analysis",
+    "execute_size",
+    "execute_verify",
+    "start_in_thread",
+]

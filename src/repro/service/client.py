@@ -1,0 +1,152 @@
+"""Blocking socket client for the analysis service.
+
+Deliberately synchronous: callers (the ``repro client`` CLI, tests,
+benchmarks, CI smoke scripts) want a plain function call that returns
+the result dict or raises :class:`ServiceError`.  Heartbeat and partial
+frames arriving before the terminal frame are surfaced through optional
+callbacks and otherwise skipped.
+
+    with ServiceClient(host, port) as client:
+        result = client.call("analyze", {"netlist": "iscas:c432",
+                                         "n_worst": 5})
+        print(result["report"])
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Callable, Dict, Optional
+
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    TruncatedFrame,
+    FrameTooLarge,
+    decode_payload,
+    encode_frame,
+    request_frame,
+)
+
+
+class ServiceError(Exception):
+    """A terminal ``error`` frame from the server."""
+
+    def __init__(self, code: str, message: str, request_id: Any = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.request_id = request_id
+
+
+class ServiceClient:
+    """One connection to a running :class:`AnalysisServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._ids = itertools.count(1)
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- framing -----------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise TruncatedFrame(
+                    f"server closed the connection {n - remaining}/{n} "
+                    "bytes into a frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> Dict[str, Any]:
+        header = self._recv_exactly(HEADER.size)
+        (length,) = HEADER.unpack(header)
+        if length > self.max_frame_bytes:
+            raise FrameTooLarge(
+                f"server announced a {length}-byte frame beyond the "
+                f"client limit {self.max_frame_bytes}")
+        return decode_payload(self._recv_exactly(length))
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (protocol tests forge broken frames with
+        this)."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(data)
+
+    def read_frame(self) -> Dict[str, Any]:
+        """Read one raw response frame (protocol tests)."""
+        self.connect()
+        return self._read_frame()
+
+    # -- requests ----------------------------------------------------------
+
+    def call(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
+        effort: Optional[str] = None,
+        on_heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_partial: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Issue one request; block until its terminal frame.
+
+        Returns the ``result`` frame as a dict; raises
+        :class:`ServiceError` for an ``error`` frame.
+        """
+        self.connect()
+        assert self._sock is not None
+        request_id = f"r{next(self._ids)}"
+        frame = request_frame(request_id, op, params=params,
+                              deadline_s=deadline_s, effort=effort)
+        self._sock.sendall(encode_frame(frame, self.max_frame_bytes))
+        while True:
+            response = self._read_frame()
+            kind = response.get("kind")
+            if kind == "heartbeat":
+                if on_heartbeat is not None:
+                    on_heartbeat(response)
+                continue
+            if kind == "partial":
+                if on_partial is not None:
+                    on_partial(response)
+                continue
+            if kind == "error":
+                raise ServiceError(response.get("code", "internal"),
+                                   response.get("message", ""),
+                                   request_id=response.get("id"))
+            if kind == "result":
+                return response
+            raise ServiceError(
+                "internal", f"unexpected frame kind {kind!r}")

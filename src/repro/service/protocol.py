@@ -1,0 +1,255 @@
+"""Wire protocol of the analysis service: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; one request
+may produce *several* response frames (heartbeats, a partial-result
+notice, then the final result or a structured error), correlated by the
+request ``id``.
+
+Request shape::
+
+    {"v": 1, "id": "r1", "op": "analyze", "params": {...},
+     "deadline_s": 2.5, "effort": "medium"}
+
+Response frames carry ``kind``:
+
+``result``
+    Terminal success; payload fields depend on the op.
+``error``
+    Terminal failure with a stable ``code`` (:data:`ERROR_CODES`) and a
+    human ``message``.  Protocol-level errors (``bad-json``,
+    ``bad-request``, ``version-mismatch``) keep the connection open --
+    the framing is still intact; only ``oversized-frame`` closes it,
+    because the declared body cannot safely be drained.
+``heartbeat``
+    Liveness beat while a request computes (``elapsed_s``, ``state``).
+``partial``
+    Anytime notice preceding a degraded ``result``: per-origin
+    completeness statuses with sound GBA upper bounds.
+
+Malformed input never crashes the server: every failure mode maps to a
+structured ``error`` frame (or, for a frame truncated by disconnect, a
+counted early EOF).  See ``docs/SERVICE.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+#: Protocol version; bumped on any incompatible frame/schema change.
+PROTOCOL_VERSION = 1
+
+#: Frame header: 4-byte big-endian unsigned payload length.
+HEADER = struct.Struct("!I")
+
+#: Default refusal threshold for a single frame (either direction).
+MAX_FRAME_BYTES = 32 << 20
+
+#: Operations the server dispatches.
+OPS = ("analyze", "verify", "size", "stats", "ping", "shutdown")
+
+#: Stable error codes carried by ``kind="error"`` frames.
+ERROR_CODES = (
+    "oversized-frame",   # declared length beyond the server's limit
+    "bad-json",          # body is not valid UTF-8 JSON / not an object
+    "bad-request",       # missing/invalid id, op, or params
+    "version-mismatch",  # client protocol version != server's
+    "deadline-exceeded", # QoS deadline expired before the search began
+    "unavailable",       # server is shutting down / refusing work
+    "internal",          # request execution raised; message has detail
+)
+
+
+class ProtocolError(Exception):
+    """A violation of the framing or message schema.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``fatal`` marks errors
+    after which the connection cannot be safely reused.
+    """
+
+    code = "bad-request"
+    fatal = False
+
+    def __init__(self, message: str, request_id: Any = None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class FrameTooLarge(ProtocolError):
+    code = "oversized-frame"
+    fatal = True
+
+
+class TruncatedFrame(ProtocolError):
+    """Peer disconnected mid-frame (EOF before the declared length)."""
+
+    code = "bad-request"
+    fatal = True
+
+
+class BadJson(ProtocolError):
+    code = "bad-json"
+
+
+class BadRequest(ProtocolError):
+    code = "bad-request"
+
+
+class VersionMismatch(ProtocolError):
+    code = "version-mismatch"
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+
+
+def encode_payload(payload: Dict[str, Any]) -> bytes:
+    """Canonical JSON body: sorted keys, no whitespace -- so identical
+    payloads are identical bytes (the fingerprint/byte-identity tests
+    rely on this)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_frame(payload: Dict[str, Any],
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    body = encode_payload(payload)
+    if len(body) > max_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(body)} bytes exceeds limit {max_bytes}")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict[str, Any]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadJson(f"frame body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise BadJson(
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Async reading (server side)
+
+
+async def read_frame(
+    reader: "asyncio.StreamReader",
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`TruncatedFrame` on EOF mid-frame, :class:`FrameTooLarge`
+    for a declared length beyond ``max_bytes`` (without reading the
+    body), and :class:`BadJson` for an undecodable body.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrame(
+            f"connection closed {len(exc.partial)} bytes into a header")
+    (length,) = HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameTooLarge(
+            f"declared frame length {length} exceeds limit {max_bytes}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed {len(exc.partial)}/{length} bytes into "
+            "a frame body")
+    return decode_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+
+
+def validate_request(
+    payload: Dict[str, Any],
+) -> Tuple[Any, str, Dict[str, Any], Optional[float], Optional[str]]:
+    """Check the request envelope; returns
+    ``(id, op, params, deadline_s, effort)``.
+
+    Raises :class:`VersionMismatch` or :class:`BadRequest` with the
+    request ``id`` attached when one was readable, so the error frame
+    can be correlated client-side.
+    """
+    request_id = payload.get("id")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"client protocol version {version!r}, server speaks "
+            f"{PROTOCOL_VERSION}", request_id=request_id)
+    if request_id is None or not isinstance(request_id, (str, int)):
+        raise BadRequest("request is missing a string/int 'id'",
+                         request_id=None)
+    op = payload.get("op")
+    if op not in OPS:
+        raise BadRequest(f"unknown op {op!r}; have {', '.join(OPS)}",
+                         request_id=request_id)
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise BadRequest("'params' must be a JSON object",
+                         request_id=request_id)
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None and (
+            not isinstance(deadline_s, (int, float)) or deadline_s <= 0):
+        raise BadRequest("'deadline_s' must be a positive number",
+                         request_id=request_id)
+    effort = payload.get("effort")
+    if effort is not None and not isinstance(effort, str):
+        raise BadRequest("'effort' must be a string",
+                         request_id=request_id)
+    return request_id, op, params, deadline_s, effort
+
+
+# ---------------------------------------------------------------------------
+# Response constructors
+
+
+def request_frame(
+    request_id: Any,
+    op: str,
+    params: Optional[Dict[str, Any]] = None,
+    deadline_s: Optional[float] = None,
+    effort: Optional[str] = None,
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION, "id": request_id, "op": op,
+        "params": params or {},
+    }
+    if deadline_s is not None:
+        frame["deadline_s"] = deadline_s
+    if effort is not None:
+        frame["effort"] = effort
+    return frame
+
+
+def result_frame(request_id: Any, **fields: Any) -> Dict[str, Any]:
+    return {"kind": "result", "id": request_id, **fields}
+
+
+def error_frame(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    return {"kind": "error", "id": request_id, "code": code,
+            "message": message, "v": PROTOCOL_VERSION}
+
+
+def heartbeat_frame(request_id: Any, elapsed_s: float,
+                    state: str = "running") -> Dict[str, Any]:
+    return {"kind": "heartbeat", "id": request_id,
+            "elapsed_s": round(elapsed_s, 3), "state": state}
+
+
+def partial_frame(request_id: Any, completeness: list) -> Dict[str, Any]:
+    return {"kind": "partial", "id": request_id,
+            "completeness": completeness}

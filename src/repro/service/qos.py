@@ -1,0 +1,86 @@
+"""Request QoS: mapping ``deadline_s``/``effort`` onto search budgets.
+
+The service does not invent a new throttling mechanism -- it translates
+the two client-facing QoS knobs onto the :class:`SearchBudgets` axes the
+resilience layer already enforces (and whose degraded results carry
+sound GBA bounds):
+
+``deadline_s``
+    Wall-clock promise for the *whole* request, measured from arrival.
+    The time already burned in the queue is subtracted before the search
+    starts; what remains becomes ``SearchBudgets.wall_seconds``.  A
+    deadline that expires before the search begins is refused up front
+    with a ``deadline-exceeded`` error rather than burning a worker slot
+    on a doomed request.
+
+``effort``
+    A named extension-budget tier (:data:`EFFORT_BUDGETS`).  Unlike the
+    deadline it is deterministic -- the same effort always explores the
+    same extensions -- so effort-limited results are cacheable and
+    byte-reproducible while deadline-limited ones are not.
+
+Both merge with any explicit ``*_budget`` params by taking the tightest
+cap per axis; explicit budgets thus can only tighten a QoS tier, never
+widen it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.resilience.budgets import SearchBudgets
+from repro.service.protocol import BadRequest, ProtocolError
+
+#: Named effort tiers -> extension budget.  ``exhaustive`` (and an
+#: absent ``effort``) imposes no cap: the search runs to completion.
+EFFORT_BUDGETS = {
+    "low": 10_000,
+    "medium": 50_000,
+    "high": 200_000,
+    "exhaustive": None,
+}
+
+
+class DeadlineExceeded(ProtocolError):
+    """The request's deadline expired before its search could start."""
+
+    code = "deadline-exceeded"
+
+
+def resolve_budgets(
+    base: Optional[SearchBudgets],
+    deadline_s: Optional[float],
+    effort: Optional[str],
+    queued_at: Optional[float] = None,
+    now: Optional[float] = None,
+) -> Optional[SearchBudgets]:
+    """Merge the request's explicit budgets with its QoS knobs.
+
+    ``queued_at`` is when the request arrived (``time.monotonic``); the
+    wait already spent in the queue counts against the deadline.
+    """
+    if effort is not None and effort not in EFFORT_BUDGETS:
+        raise BadRequest(
+            f"unknown effort {effort!r}; have "
+            f"{', '.join(sorted(EFFORT_BUDGETS))}")
+    wall = base.wall_seconds if base else None
+    extensions = base.max_extensions if base else None
+    backtracks = base.max_backtracks if base else None
+    if deadline_s is not None:
+        now = time.monotonic() if now is None else now
+        remaining = deadline_s - (now - queued_at if queued_at else 0.0)
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {deadline_s:g}s expired after "
+                f"{now - queued_at:.3f}s in queue")
+        wall = remaining if wall is None else min(wall, remaining)
+    tier = EFFORT_BUDGETS.get(effort) if effort else None
+    if tier is not None:
+        extensions = tier if extensions is None else min(extensions, tier)
+    budgets = SearchBudgets(
+        wall_seconds=wall,
+        max_extensions=extensions,
+        max_backtracks=backtracks,
+    )
+    return budgets if budgets.bounded() else None

@@ -1,0 +1,475 @@
+"""The analysis daemon: asyncio socket server over hot cached state.
+
+One :class:`AnalysisServer` owns
+
+* a :class:`~repro.service.cache.HotCache` of built
+  :class:`~repro.service.requests.AnalysisContext` objects (circuit +
+  charlib + compiled session) keyed by context fingerprint,
+* a :class:`~repro.service.cache.ResultMemo` of rendered outcomes for
+  deterministic request repeats,
+* a thread pool for the actual compute (the asyncio loop only frames,
+  validates, schedules, and heartbeats -- it never blocks on a search).
+
+Request lifecycle: frame decoded -> envelope validated -> QoS resolved
+(:func:`repro.service.qos.resolve_budgets`) -> context fetched or built
+-> search executed under the context lock -> heartbeat frames every
+``heartbeat_interval`` while computing -> for a degraded result, a
+``partial`` frame with per-origin completeness (sound GBA bounds) ->
+the terminal ``result`` or ``error`` frame.  Per-request counter deltas
+are measured around the execution and shipped in the result's
+``metrics`` field (exact when the request runs alone; under concurrency
+deltas from overlapping requests may bleed in -- see docs/SERVICE.md).
+
+The compute path is the *same code* the one-shot CLI runs
+(:func:`repro.service.requests.execute_analysis` et al.), which is what
+makes served reports byte-identical to CLI stdout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.resilience.errors import ConfigError, ResilienceError
+from repro.service.cache import HotCache, ResultMemo
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    BadRequest,
+    ProtocolError,
+    TruncatedFrame,
+    encode_frame,
+    error_frame,
+    heartbeat_frame,
+    partial_frame,
+    read_frame,
+    result_frame,
+    validate_request,
+)
+from repro.service.qos import resolve_budgets
+from repro.service.requests import (
+    AnalysisRequest,
+    build_context,
+    execute_analysis,
+    execute_size,
+    execute_verify,
+)
+
+_log = obs.get_logger("repro.service")
+
+
+@dataclass
+class ServiceConfig:
+    host: str = "127.0.0.1"
+    #: 0 = let the OS pick (the bound port is on the server/handle).
+    port: int = 0
+    #: LRU capacity for built analysis contexts.
+    cache_size: int = 8
+    #: LRU capacity for memoized deterministic results.
+    result_cache_size: int = 64
+    #: Compute threads; also the number of requests in flight.
+    max_concurrent: int = 4
+    #: Seconds between liveness beats while a request computes.
+    heartbeat_interval: float = 5.0
+    #: Honor the ``fault`` request param (test/CI harnesses only).
+    allow_fault_injection: bool = False
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+
+@dataclass
+class ServerHandle:
+    """A server running in a daemon thread (tests, benchmarks, CLI)."""
+
+    server: "AnalysisServer"
+    thread: threading.Thread
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not bound yet"
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout)
+
+
+def _numeric_snapshot() -> Dict[str, float]:
+    return {key: value for key, value in obs_metrics.snapshot().items()
+            if isinstance(value, (int, float))}
+
+
+def _numeric_delta(before: Dict[str, float]) -> Dict[str, float]:
+    after = _numeric_snapshot()
+    return {key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value != before.get(key, 0)}
+
+
+class AnalysisServer:
+    """See the module docstring; construct, then :meth:`run` (blocking)
+    or :func:`start_in_thread`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.port: Optional[int] = None
+        self.contexts = HotCache(self.config.cache_size, name="cache")
+        self.results = ResultMemo(self.config.result_cache_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-service")
+        self._started_at = time.monotonic()
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._requests_lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._failed = 0
+        self._client_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Serve until :meth:`request_stop` (blocking; owns the loop)."""
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        _log.info("service.listening", host=self.config.host, port=self.port)
+        self._ready.set()
+        try:
+            await self._stop_async.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Drain live connection handlers instead of letting
+            # asyncio.run() cancel them un-awaited (which logs a noisy
+            # CancelledError per connection on shutdown).
+            live = [t for t in self._client_tasks if not t.done()]
+            if live:
+                _, pending = await asyncio.wait(live, timeout=2.0)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+            self._executor.shutdown(wait=False)
+            _log.info("service.stopped", port=self.port)
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not come up in time")
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown trigger (also the ``shutdown`` op)."""
+        loop, stop = self._loop, self._stop_async
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, op: str) -> None:
+        obs.counter("service.requests").inc()
+        obs.counter("service.requests_by_op", op=op).inc()
+        with self._requests_lock:
+            self._requests[op] = self._requests.get(op, 0) + 1
+
+    def _count_failure(self) -> None:
+        obs.counter("service.requests_failed").inc()
+        with self._requests_lock:
+            self._failed += 1
+
+    def stats_payload(self) -> Dict[str, Any]:
+        with self._requests_lock:
+            by_op = dict(self._requests)
+            failed = self._failed
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": {
+                "total": sum(by_op.values()),
+                "by_op": by_op,
+                "failed": failed,
+            },
+            "contexts": self.contexts.stats(),
+            "results": self.results.stats(),
+            "metrics": obs.snapshot(),
+        }
+
+    # -- connection handling ----------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    payload: Dict[str, Any]) -> None:
+        writer.write(encode_frame(payload, self.config.max_frame_bytes))
+        await writer.drain()
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        obs.counter("service.connections").inc()
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        try:
+            while True:
+                try:
+                    payload = await read_frame(
+                        reader, self.config.max_frame_bytes)
+                except TruncatedFrame:
+                    # Peer vanished mid-frame; nothing to answer to.
+                    obs.counter("service.truncated_frames").inc()
+                    break
+                except ProtocolError as exc:
+                    obs.counter("service.protocol_errors").inc()
+                    await self._send(writer, error_frame(
+                        exc.request_id, exc.code, str(exc)))
+                    if exc.fatal:
+                        break
+                    continue
+                if payload is None:
+                    break  # clean EOF at a frame boundary
+                try:
+                    request_id, op, params, deadline_s, effort = \
+                        validate_request(payload)
+                except ProtocolError as exc:
+                    obs.counter("service.protocol_errors").inc()
+                    await self._send(writer, error_frame(
+                        exc.request_id, exc.code, str(exc)))
+                    continue
+                await self._process(writer, request_id, op, params,
+                                    deadline_s, effort)
+                if op == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer went away; the server keeps serving others
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- request processing ------------------------------------------------
+
+    async def _process(self, writer: asyncio.StreamWriter, request_id: Any,
+                       op: str, params: Dict[str, Any],
+                       deadline_s: Optional[float],
+                       effort: Optional[str]) -> None:
+        queued_at = time.monotonic()
+        self._count(op)
+        with obs.span(f"service.request.{op}"):
+            if op == "ping":
+                await self._send(writer, result_frame(
+                    request_id, op="ping", pong=True,
+                    uptime_s=round(queued_at - self._started_at, 3)))
+                return
+            if op == "stats":
+                await self._send(writer, result_frame(
+                    request_id, op="stats", **self.stats_payload()))
+                return
+            if op == "shutdown":
+                await self._send(writer, result_frame(
+                    request_id, op="shutdown", stopping=True))
+                self.request_stop()
+                return
+            try:
+                runner = self._build_runner(op, dict(params), deadline_s,
+                                            effort, queued_at)
+            except ProtocolError as exc:
+                self._count_failure()
+                await self._send(writer, error_frame(
+                    request_id, exc.code, str(exc)))
+                return
+            except ConfigError as exc:
+                self._count_failure()
+                await self._send(writer, error_frame(
+                    request_id, "bad-request", str(exc)))
+                return
+            await self._run_with_heartbeats(writer, request_id, runner,
+                                            queued_at)
+
+    async def _run_with_heartbeats(
+        self, writer: asyncio.StreamWriter, request_id: Any,
+        runner: Callable[[], List[Dict[str, Any]]], queued_at: float,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, runner)
+        while True:
+            done, _ = await asyncio.wait(
+                [future], timeout=self.config.heartbeat_interval)
+            if done:
+                break
+            await self._send(writer, heartbeat_frame(
+                request_id, time.monotonic() - queued_at))
+        try:
+            frames = future.result()
+        except ProtocolError as exc:
+            self._count_failure()
+            frames = [error_frame(request_id, exc.code, str(exc))]
+        except ConfigError as exc:
+            self._count_failure()
+            frames = [error_frame(request_id, "bad-request", str(exc))]
+        except ResilienceError as exc:
+            self._count_failure()
+            frames = [error_frame(request_id, "internal", str(exc))]
+        except Exception as exc:
+            self._count_failure()
+            _log.warning("service.request_error", op="analyze",
+                         error=f"{type(exc).__name__}: {exc}")
+            frames = [error_frame(request_id, "internal",
+                                  f"{type(exc).__name__}: {exc}")]
+        for frame in frames:
+            if frame.get("id") is None:
+                frame["id"] = request_id
+            await self._send(writer, frame)
+
+    # -- op runners (execute in the thread pool) ---------------------------
+
+    def _build_runner(self, op: str, params: Dict[str, Any],
+                      deadline_s: Optional[float], effort: Optional[str],
+                      queued_at: float) -> Callable[[], List[Dict[str, Any]]]:
+        if op == "analyze":
+            return self._prepare_analyze(params, deadline_s, effort,
+                                         queued_at)
+        if op == "verify":
+            return self._prepare_verify(params)
+        if op == "size":
+            return self._prepare_size(params)
+        raise BadRequest(f"op {op!r} not dispatchable")
+
+    def _fault_plan(self, params: Dict[str, Any]):
+        """Honor a ``fault`` param (test harnesses only): a FaultPlan
+        field dict, e.g. ``{"crash_origins": ["N1"], "crash_attempts":
+        [0, 1, 2]}``."""
+        spec = params.pop("fault", None)
+        if spec is None:
+            return None
+        if not self.config.allow_fault_injection:
+            raise BadRequest(
+                "fault injection is disabled on this server")
+        from repro.verify.faults import FaultPlan
+
+        known = {f.name for f in FaultPlan.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise BadRequest(f"unknown fault fields: {', '.join(unknown)}")
+        coerced = {key: tuple(value) if isinstance(value, list) else value
+                   for key, value in spec.items()}
+        return FaultPlan(**coerced)
+
+    def _prepare_analyze(self, params, deadline_s, effort, queued_at):
+        fault_plan = self._fault_plan(params)
+        request = AnalysisRequest.from_params(params)
+        if deadline_s is not None or effort is not None:
+            merged = resolve_budgets(request.budgets(), deadline_s, effort,
+                                     queued_at=queued_at)
+            request = replace(
+                request,
+                wall_budget=merged.wall_seconds if merged else None,
+                extension_budget=merged.max_extensions if merged else None,
+                backtrack_budget=merged.max_backtracks if merged else None,
+            )
+        memoizable = request.deterministic() and fault_plan is None
+        fingerprint = request.fingerprint()
+
+        def runner() -> List[Dict[str, Any]]:
+            if memoizable:
+                hit = self.results.get(fingerprint)
+                if hit is not None:
+                    return [dict(hit, cached=True)]
+            context = self.contexts.get_or_build(
+                request.context_key(), lambda: build_context(request))
+            with context.lock:
+                before = _numeric_snapshot()
+                started = time.monotonic()
+                outcome = execute_analysis(request, context=context,
+                                           fault_plan=fault_plan)
+                elapsed = time.monotonic() - started
+                delta = _numeric_delta(before)
+            obs.histogram("service.analyze_seconds").observe(elapsed)
+            fields: Dict[str, Any] = {
+                "op": "analyze",
+                "report": outcome.report,
+                "paths": len(outcome.paths),
+                "degraded": outcome.degraded,
+                "cached": False,
+                "elapsed_s": round(elapsed, 6),
+                "metrics": delta,
+            }
+            frames: List[Dict[str, Any]] = []
+            if outcome.degraded and outcome.completeness is not None:
+                completeness = [o.as_dict() for o in
+                                outcome.completeness.origins.values()]
+                fields["completeness"] = completeness
+                frames.append(partial_frame(None, completeness))
+            result = result_frame(None, **fields)
+            if memoizable:
+                self.results.put(
+                    fingerprint,
+                    {key: value for key, value in result.items()
+                     if key not in ("elapsed_s", "metrics")})
+            frames.append(result)
+            return frames
+
+        return runner
+
+    def _prepare_verify(self, params):
+        circuits = params.pop("circuits", None)
+        if not circuits or not isinstance(circuits, list):
+            raise BadRequest(
+                "verify requires a non-empty 'circuits' list param")
+        allowed = {"oracle", "metamorphic", "max_inputs", "jobs", "tech"}
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise BadRequest(f"unknown verify params: {', '.join(unknown)}")
+        if not params.get("oracle") and not params.get("metamorphic"):
+            raise BadRequest(
+                "verify requires 'oracle' and/or 'metamorphic'")
+
+        def runner() -> List[Dict[str, Any]]:
+            outcome = execute_verify(circuits, **params)
+            return [result_frame(None, op="verify", report=outcome.report,
+                                 ok=outcome.ok)]
+
+        return runner
+
+    def _prepare_size(self, params):
+        if "netlist" not in params or "required_ps" not in params:
+            raise BadRequest(
+                "size requires 'netlist' and 'required_ps' params")
+        import inspect
+
+        allowed = set(inspect.signature(execute_size).parameters)
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise BadRequest(f"unknown size params: {', '.join(unknown)}")
+
+        def runner() -> List[Dict[str, Any]]:
+            outcome = execute_size(**params)
+            return [result_frame(None, op="size", report=outcome.report,
+                                 **outcome.payload)]
+
+        return runner
+
+
+def start_in_thread(config: Optional[ServiceConfig] = None) -> ServerHandle:
+    """Run an :class:`AnalysisServer` in a daemon thread and block until
+    it is bound (tests, benchmarks, and ``repro serve`` all use this)."""
+    server = AnalysisServer(config)
+    thread = threading.Thread(target=server.run, daemon=True,
+                              name="repro-service-loop")
+    thread.start()
+    server.wait_ready()
+    return ServerHandle(server=server, thread=thread)

@@ -33,11 +33,13 @@ Progress surfaces through :mod:`repro.obs` as ``verify.*`` metrics:
 
 from repro.verify.faults import (
     FAULT_SCENARIOS,
+    SERVER_FAULT_SCENARIOS,
     FaultPlan,
     FaultReport,
     FaultScenarioResult,
     corrupt_charlib,
     run_faults,
+    run_server_faults,
 )
 from repro.verify.fuzz import FuzzFailure, FuzzReport, load_seed, run_fuzz
 from repro.verify.metamorphic import (
@@ -67,8 +69,10 @@ __all__ = [
     "OracleReport",
     "corrupt_charlib",
     "load_seed",
+    "SERVER_FAULT_SCENARIOS",
     "run_faults",
     "run_fuzz",
+    "run_server_faults",
     "run_metamorphic",
     "run_oracle",
     "shrink_circuit",

@@ -310,6 +310,182 @@ def run_faults(
     return report
 
 
+#: Served-request scenario names, in execution order (the harness
+#: behind ``repro verify --server-faults`` and
+#: ``tests/test_service_faults.py``).
+SERVER_FAULT_SCENARIOS = (
+    "server_worker_crash",
+    "server_degraded_bounds",
+)
+
+
+def run_server_faults(
+    circuit_spec: str = "iscas:c432@0.1",
+    seed: int = 0,
+    jobs: int = 2,
+    max_paths: Optional[int] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> FaultReport:
+    """Fault-inject the *analysis server's* request path.
+
+    Boots an in-thread :class:`~repro.service.server.AnalysisServer`
+    with fault injection enabled and certifies the served recovery
+    story end to end:
+
+    ``server_worker_crash``
+        A request whose pool workers are hard-killed on their first
+        attempt for two sampled origins must still return a report
+        byte-identical to the fault-free served request, with the
+        supervisor's crash/retry counters raised.
+
+    ``server_degraded_bounds``
+        A request whose worker dies on *every* attempt for one origin
+        (serial fallback disabled) must complete degraded: a ``partial``
+        frame precedes the result, the failed origin carries a GBA
+        bound, and that bound soundly dominates every fault-free
+        arrival from the origin.
+    """
+    from repro.service import ServiceClient, ServiceConfig, start_in_thread
+    from repro.service.requests import build_context, AnalysisRequest
+
+    selected = list(scenarios) if scenarios is not None \
+        else list(SERVER_FAULT_SCENARIOS)
+    unknown = [name for name in selected
+               if name not in SERVER_FAULT_SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown server fault scenarios {unknown}; "
+                         f"have {SERVER_FAULT_SCENARIOS}")
+    jobs = max(jobs, 2)  # faults live in pool workers
+    base_params = {"netlist": circuit_spec, "jobs": jobs,
+                   "max_paths": max_paths}
+    report = FaultReport(circuit=circuit_spec, seed=seed)
+    handle = start_in_thread(ServiceConfig(
+        allow_fault_injection=True, heartbeat_interval=0.25))
+    try:
+        with ServiceClient(handle.host, handle.port) as client:
+            reference = client.call("analyze", dict(base_params))
+            context = build_context(AnalysisRequest(netlist=circuit_spec))
+            origins = list(context.circuit.inputs)
+            rng = random.Random(seed)
+            for name in selected:
+                before = _counter_values()
+                try:
+                    if name == "server_worker_crash":
+                        outcome = _server_worker_crash(
+                            client, base_params, reference, rng, origins,
+                            before)
+                    else:
+                        outcome = _server_degraded_bounds(
+                            client, base_params, context, rng, origins,
+                            before)
+                except Exception as exc:  # a scenario must never abort
+                    outcome = FaultScenarioResult(
+                        name, False,
+                        f"escaped {type(exc).__name__}: {exc}",
+                        _delta(before))
+                report.scenarios.append(outcome)
+                _log.info("verify.server_fault_scenario", scenario=name,
+                          ok=outcome.ok, detail=outcome.detail)
+    finally:
+        handle.stop()
+    registry = obs_metrics.REGISTRY
+    registry.counter("verify.fault_scenarios").inc(len(report.scenarios))
+    failures = sum(1 for s in report.scenarios if not s.ok)
+    registry.counter("verify.fault_failures").inc(failures)
+    registry.counter("verify.fault_recoveries").inc(
+        len(report.scenarios) - failures)
+    return report
+
+
+def _server_worker_crash(client, base_params, reference, rng, origins,
+                         before) -> FaultScenarioResult:
+    victims = rng.sample(origins, min(2, len(origins)))
+    result = client.call("analyze", dict(
+        base_params, fault={"crash_origins": victims,
+                            "crash_attempts": [0]}))
+    recovery = _delta(before)
+    if result.get("cached"):
+        return FaultScenarioResult(
+            "server_worker_crash", False,
+            "fault-injected request was served from the result memo",
+            recovery)
+    if result["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_worker_crash", False,
+            "recovered served report differs from fault-free reference",
+            recovery)
+    for counter, why in (
+        ("resilience.worker_crashes", "no crash detected"),
+        ("resilience.shard_retries", "no retry happened"),
+    ):
+        if not recovery.get(counter):
+            return FaultScenarioResult(
+                "server_worker_crash", False,
+                f"no {counter} recorded ({why})", recovery)
+    return FaultScenarioResult(
+        "server_worker_crash", True,
+        f"report identical after {len(victims)} worker kills", recovery)
+
+
+def _server_degraded_bounds(client, base_params, context, rng, origins,
+                            before) -> FaultScenarioResult:
+    from repro.perf import supervised_find_paths
+
+    # Reference run first, so the victim can be drawn from origins that
+    # actually produce paths -- otherwise the bound-dominance check
+    # below would be vacuous (max over an empty set).
+    fault_free = supervised_find_paths(
+        context.circuit, context.charlib, jobs=1,
+        max_paths=base_params.get("max_paths"))
+    productive = sorted({p.nets[0] for p in fault_free.paths})
+    victim = rng.choice(productive or origins)
+    retries = int(base_params.get("shard_retries", 2))
+    partials = []
+    result = client.call(
+        "analyze",
+        dict(base_params, serial_fallback=False,
+             fault={"crash_origins": [victim],
+                    "crash_attempts": list(range(retries + 2))}),
+        on_partial=partials.append,
+    )
+    recovery = _delta(before)
+    if not result.get("degraded"):
+        return FaultScenarioResult(
+            "server_degraded_bounds", False,
+            f"request did not degrade (origin {victim} should have "
+            "failed every attempt)", recovery)
+    if not partials:
+        return FaultScenarioResult(
+            "server_degraded_bounds", False,
+            "no partial frame preceded the degraded result", recovery)
+    failed = [o for o in result.get("completeness", ())
+              if o["origin"] == victim and o["status"] != "complete"]
+    if not failed:
+        return FaultScenarioResult(
+            "server_degraded_bounds", False,
+            f"origin {victim} missing from the degraded completeness "
+            "report", recovery)
+    bound = failed[0].get("gba_bound")
+    if bound is None:
+        return FaultScenarioResult(
+            "server_degraded_bounds", False,
+            f"failed origin {victim} carries no GBA bound", recovery)
+    # Soundness: the bound must dominate every arrival the fault-free
+    # search finds from the failed origin.
+    reachable = [p.worst_arrival for p in fault_free.paths
+                 if p.nets[0] == victim]
+    ceiling = max(reachable) if reachable else 0.0
+    if bound < ceiling:
+        return FaultScenarioResult(
+            "server_degraded_bounds", False,
+            f"GBA bound {bound * 1e12:.1f} ps below true arrival "
+            f"{ceiling * 1e12:.1f} ps from {victim} (unsound)", recovery)
+    return FaultScenarioResult(
+        "server_degraded_bounds", True,
+        f"origin {victim} degraded with sound bound "
+        f"{bound * 1e12:.1f} ps >= {ceiling * 1e12:.1f} ps", recovery)
+
+
 def _run_corrupt_charlib(circuit, charlib, seed, jobs, max_paths,
                          before) -> FaultScenarioResult:
     """Corruption is a *data* fault, not an infrastructure one: under

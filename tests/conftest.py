@@ -8,7 +8,16 @@ Every test runs with ``random`` and ``numpy.random`` seeded from a
 per-test value derived from one base seed, so property/fuzz tests are
 reproducible: the base seed prints in the pytest header, a failing
 test's own seed prints in its report, and ``REPRO_TEST_SEED=<base>``
-replays the exact run.
+replays the exact run.  The seeding is autouse, so it also covers the
+async service tests (``tests/test_service_*``) -- their in-thread
+server shares this process's global RNGs; ``service_seed`` hands a
+test its derived seed explicitly for seeding scenario harnesses.
+
+Service tests exercise the process-wide ``repro.obs`` registry from
+both the client and the in-thread server, so an autouse fixture resets
+it around every ``test_service_*`` module's tests: a counter leaked by
+one test (or by a non-service test running earlier in the same worker)
+can never flip a warm-cache or request-counter assertion.
 """
 
 from __future__ import annotations
@@ -77,6 +86,28 @@ def pytest_runtest_makereport(item, call):
                 f"per-test seed {seed}; reproduce the whole run with "
                 f"REPRO_TEST_SEED={base}",
             ))
+
+
+@pytest.fixture
+def service_seed(request, _seed_rngs) -> int:
+    """The per-test derived seed, for harnesses that take an explicit
+    seed (e.g. ``run_server_faults``)."""
+    return request.node._repro_seed
+
+
+@pytest.fixture(autouse=True)
+def _service_obs_isolation(request):
+    """Metrics isolation for the service tests: the server thread and
+    the assertions share one process-wide registry, so each test gets a
+    clean one (and leaves a clean one behind)."""
+    if "test_service" not in request.node.nodeid:
+        yield
+        return
+    from repro import obs
+
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

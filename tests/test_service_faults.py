@@ -1,0 +1,54 @@
+"""Served requests under injected pool-worker faults.
+
+Certifies the server-side recovery story end to end via
+:func:`repro.verify.faults.run_server_faults`: a request whose workers
+are hard-killed mid-search must either recover to a byte-identical
+report (retry path) or degrade honestly with sound GBA bounds
+(fallback disabled).  The victim origins are drawn from the per-test
+seed (``REPRO_TEST_SEED`` replays the exact kill schedule).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError, ServiceConfig
+from repro.service.server import start_in_thread
+from repro.verify import SERVER_FAULT_SCENARIOS, run_server_faults
+
+
+def test_server_fault_scenarios_recover(service_seed):
+    # One server boot covers both scenarios (each spawns jobs=2 pools).
+    report = run_server_faults(
+        "iscas:c432@0.1", seed=service_seed % (1 << 16), jobs=2)
+    assert [s.name for s in report.scenarios] == \
+        list(SERVER_FAULT_SCENARIOS)
+    assert report.ok, report.describe()
+
+    crash = report.scenarios[0]
+    assert crash.recovery.get("resilience.worker_crashes", 0) >= 1
+    assert crash.recovery.get("resilience.shard_retries", 0) >= 1
+
+    degraded = report.scenarios[1]
+    assert degraded.recovery.get("resilience.degraded_origins", 0) >= 1
+    assert "sound bound" in degraded.detail
+
+
+def test_unknown_server_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown server fault"):
+        run_server_faults(scenarios=["meteor_strike"])
+
+
+def test_fault_injection_refused_unless_enabled():
+    # A production server (the default) must reject the fault param
+    # outright -- fault injection is a harness capability, not an op.
+    handle = start_in_thread(ServiceConfig(heartbeat_interval=0.2))
+    try:
+        with ServiceClient(handle.host, handle.port, timeout=60.0) as c:
+            with pytest.raises(ServiceError) as err:
+                c.call("analyze", {"netlist": "iscas:c17",
+                                   "fault": {"crash_origins": ["N1"]}})
+    finally:
+        handle.stop()
+    assert err.value.code == "bad-request"
+    assert "disabled" in err.value.message
