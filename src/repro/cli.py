@@ -292,6 +292,8 @@ def _stats(args) -> int:
 
 
 def _serve(args) -> int:
+    import signal
+
     from repro.service import ServiceConfig, start_in_thread
 
     _setup_obs(args)
@@ -303,13 +305,30 @@ def _serve(args) -> int:
         max_concurrent=args.max_concurrent,
         heartbeat_interval=args.heartbeat_interval,
         allow_fault_injection=args.allow_fault_injection,
+        fleet=args.fleet,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_retries=args.request_retries,
+        preempt_after_s=args.preempt_after,
+        snapshot_path=args.snapshot,
+        snapshot_interval_s=args.snapshot_interval,
+        snapshot_max_age_s=args.snapshot_max_age,
     )
     handle = start_in_thread(config)
     print(f"listening on {handle.host}:{handle.port}", flush=True)
     if args.port_file:
         _write_artifact(args.port_file, f"{handle.port}\n", "port file")
+
+    def _on_sigterm(signum, frame):
+        # Same graceful drain as the wire `shutdown` op: finish
+        # in-flight work, refuse new requests with `unavailable`,
+        # snapshot warm state, exit 0.
+        print("SIGTERM: draining", file=sys.stderr)
+        handle.server.begin_drain()
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     try:
-        # Until a `shutdown` request arrives (or Ctrl-C).
+        # Until a `shutdown` request / SIGTERM drain finishes (or Ctrl-C).
         handle.thread.join()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
@@ -327,8 +346,16 @@ def _client(args) -> int:
         raise ConfigError(f"server must be HOST:PORT, got {args.server!r}")
     command = args.client_command
     with ServiceClient(host, int(port), timeout=args.timeout) as client:
+
+        def _call(op, params, **kwargs):
+            retries = getattr(args, "retries", 0) or 0
+            if retries > 0:
+                return client.call_with_retry(op, params, retries=retries,
+                                              **kwargs)
+            return client.call(op, params, **kwargs)
+
         if command == "analyze":
-            result = client.call(
+            result = _call(
                 "analyze", _analyze_params(args),
                 deadline_s=args.deadline, effort=args.effort,
             )
@@ -342,7 +369,7 @@ def _client(args) -> int:
             return 0
         if command == "verify":
             specs = args.circuit or ["iscas:c17", "iscas:c432@0.05"]
-            result = client.call("verify", {
+            result = _call("verify", {
                 "circuits": specs,
                 "oracle": args.oracle,
                 "metamorphic": args.metamorphic,
@@ -353,7 +380,7 @@ def _client(args) -> int:
             print(result["report"])
             return 0 if result.get("ok") else 1
         if command == "size":
-            result = client.call("size", {
+            result = _call("size", {
                 "netlist": args.netlist,
                 "required_ps": args.required,
                 "tech": args.tech,
@@ -617,6 +644,40 @@ def main(argv: Optional[list] = None) -> int:
     serve.add_argument("--allow-fault-injection", action="store_true",
                        help="honor the 'fault' request param (test/CI "
                             "harnesses only)")
+    serve.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="compute in N supervised worker processes "
+                            "(a worker crash kills one request, not the "
+                            "daemon); 0 = in-process thread pool "
+                            "(default)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admission slots (default: fleet size, or "
+                            "--max-concurrent at --fleet 0)")
+    serve.add_argument("--max-queue", type=int, default=32, metavar="N",
+                       help="waiting requests beyond which new arrivals "
+                            "are shed with 'overloaded' + retry_after_s "
+                            "(default 32)")
+    serve.add_argument("--request-retries", type=int, default=2,
+                       metavar="N",
+                       help="crash retries per request before giving up "
+                            "(fleet mode; default 2)")
+    serve.add_argument("--preempt-after", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="queue wait after which a deadline-bearing "
+                            "request may preempt an exhaustive hog "
+                            "(fleet mode; default 2)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="persist warm state (result memo + hot "
+                            "context keys) to PATH periodically and on "
+                            "drain; re-warm from it on boot")
+    serve.add_argument("--snapshot-interval", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="period between warm-state snapshots "
+                            "(default 30)")
+    serve.add_argument("--snapshot-max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="discard boot snapshots older than this "
+                            "(default: no horizon)")
     serve.add_argument("--port-file", default=None, metavar="PATH",
                        help="write the bound port to PATH once listening")
     serve.add_argument("--log-level", default=None,
@@ -645,6 +706,11 @@ def main(argv: Optional[list] = None) -> int:
                            help="QoS: named extension-budget tier")
     c_analyze.add_argument("--timeout", type=float, default=600.0,
                            help="client socket timeout (default 600)")
+    c_analyze.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="retry 'overloaded'/'unavailable' "
+                                "refusals and transport failures up to N "
+                                "times with jittered exponential backoff "
+                                "(idempotent re-send; default 0)")
     c_analyze.add_argument("--metrics-json", default=None, metavar="PATH",
                            help="write the server-side per-request "
                                 "counter delta to PATH")
@@ -662,6 +728,7 @@ def main(argv: Optional[list] = None) -> int:
     c_verify.add_argument("--deadline", type=float, default=None,
                           metavar="SECONDS")
     c_verify.add_argument("--timeout", type=float, default=600.0)
+    c_verify.add_argument("--retries", type=int, default=0, metavar="N")
     c_verify.set_defaults(func=_client)
 
     c_size = client_sub.add_parser("size", help="served gate sizing")
@@ -677,6 +744,7 @@ def main(argv: Optional[list] = None) -> int:
     c_size.add_argument("--deadline", type=float, default=None,
                         metavar="SECONDS")
     c_size.add_argument("--timeout", type=float, default=600.0)
+    c_size.add_argument("--retries", type=int, default=0, metavar="N")
     c_size.set_defaults(func=_client)
 
     c_stats = client_sub.add_parser(

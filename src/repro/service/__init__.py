@@ -10,13 +10,25 @@ holds the results hot behind a length-prefixed JSON socket protocol:
 * :mod:`repro.service.qos` -- ``deadline_s``/``effort`` onto
   :class:`~repro.resilience.budgets.SearchBudgets`;
 * :mod:`repro.service.cache` -- LRU context cache + result memo;
-* :mod:`repro.service.server` -- the asyncio daemon;
-* :mod:`repro.service.client` -- the blocking client.
+* :mod:`repro.service.fleet` -- supervised worker processes (and the
+  in-process fallback) behind one spec-execution function;
+* :mod:`repro.service.admission` -- bounded priority queue, load
+  shedding, preemption policy;
+* :mod:`repro.service.persistence` -- crash-safe warm-state snapshots;
+* :mod:`repro.service.server` -- the asyncio acceptor;
+* :mod:`repro.service.client` -- the blocking client with retry.
 
 See ``docs/SERVICE.md`` for the wire contract and ops guidance.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.admission import AdmissionController, Overloaded
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service.fleet import ThreadedExecutor, WorkerFleet, run_work
+from repro.service.persistence import WarmStateStore
 from repro.service.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
 from repro.service.requests import (
     AnalysisRequest,
@@ -33,17 +45,24 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdmissionController",
     "AnalysisRequest",
     "AnalysisServer",
     "MAX_FRAME_BYTES",
+    "Overloaded",
     "PROTOCOL_VERSION",
     "ServerHandle",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceUnavailable",
+    "ThreadedExecutor",
+    "WarmStateStore",
+    "WorkerFleet",
     "build_context",
     "execute_analysis",
     "execute_size",
     "execute_verify",
+    "run_work",
     "start_in_thread",
 ]

@@ -121,6 +121,28 @@ class ResultMemo:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
 
+    def items(self):
+        """Snapshot of the entries, oldest -> newest (LRU order), for
+        warm-state persistence.  Touches no recency state."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def restore(self, items) -> int:
+        """Re-warm from persisted ``(fingerprint, value)`` pairs in
+        oldest -> newest order; returns how many were kept.  Existing
+        entries win (a live result is never clobbered by a snapshot),
+        and capacity still applies."""
+        restored = 0
+        with self._lock:
+            for fingerprint, value in items:
+                if fingerprint in self._entries:
+                    continue
+                self._entries[fingerprint] = value
+                restored += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return restored
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -59,6 +59,7 @@ ERROR_CODES = (
     "version-mismatch",  # client protocol version != server's
     "deadline-exceeded", # QoS deadline expired before the search began
     "unavailable",       # server is shutting down / refusing work
+    "overloaded",        # admission queue full; retry_after_s attached
     "internal",          # request execution raised; message has detail
 )
 
@@ -238,16 +239,23 @@ def result_frame(request_id: Any, **fields: Any) -> Dict[str, Any]:
     return {"kind": "result", "id": request_id, **fields}
 
 
-def error_frame(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+def error_frame(request_id: Any, code: str, message: str,
+                **fields: Any) -> Dict[str, Any]:
+    """``fields`` carries structured extras next to the human message --
+    e.g. ``retry_after_s`` on an ``overloaded`` rejection."""
     assert code in ERROR_CODES, code
     return {"kind": "error", "id": request_id, "code": code,
-            "message": message, "v": PROTOCOL_VERSION}
+            "message": message, "v": PROTOCOL_VERSION, **fields}
 
 
 def heartbeat_frame(request_id: Any, elapsed_s: float,
-                    state: str = "running") -> Dict[str, Any]:
+                    state: str = "running",
+                    **fields: Any) -> Dict[str, Any]:
+    """A queued request beats with ``state="queued"``, ``queued=True``
+    and its 1-based queue ``position``, so a client can distinguish
+    "waiting for a worker" from "dead server"."""
     return {"kind": "heartbeat", "id": request_id,
-            "elapsed_s": round(elapsed_s, 3), "state": state}
+            "elapsed_s": round(elapsed_s, 3), "state": state, **fields}
 
 
 def partial_frame(request_id: Any, completeness: list) -> Dict[str, Any]:

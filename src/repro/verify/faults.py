@@ -26,9 +26,11 @@ faults, which is precisely the recovery guarantee being tested.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -191,6 +193,16 @@ _RECOVERY_COUNTERS = (
     "resilience.degraded_origins",
     "resilience.resumed_shards",
     "delaycalc.arc_substitutions",
+    "service.worker_crashes",
+    "service.request_retries",
+    "service.worker_timeouts",
+    "service.preemptions",
+    "service.queued",
+    "service.overloaded",
+    "service.deadline_drops",
+    "service.snapshots_written",
+    "service.snapshot_restores",
+    "service.snapshot_discarded",
 )
 
 
@@ -316,6 +328,10 @@ def run_faults(
 SERVER_FAULT_SCENARIOS = (
     "server_worker_crash",
     "server_degraded_bounds",
+    "server_fleet_kill",
+    "server_restart_mid_request",
+    "server_snapshot_corruption",
+    "server_queue_overflow",
 )
 
 
@@ -344,6 +360,32 @@ def run_server_faults(
         frame precedes the result, the failed origin carries a GBA
         bound, and that bound soundly dominates every fault-free
         arrival from the origin.
+
+    ``server_fleet_kill``
+        On a ``fleet=2`` server, a request whose *fleet worker* is
+        OOM-killed (``os._exit`` before any compute) on its first
+        attempt must be retried onto a respawned worker and return a
+        report byte-identical to the threaded reference, with the
+        fleet's crash/retry counters raised.
+
+    ``server_restart_mid_request``
+        The daemon is hard-killed (no exit snapshot) while a request is
+        in flight.  The client's retry loop must recover identical
+        bytes from a restarted daemon on the same port, and the restart
+        must re-warm the result memo from the last periodic snapshot
+        (a deterministic repeat answers ``cached``).
+
+    ``server_snapshot_corruption``
+        A warm-state snapshot tampered with on disk (valid JSON, wrong
+        digest) must be *discarded* on boot -- never trusted -- and the
+        cold recompute must still be byte-identical.
+
+    ``server_queue_overflow``
+        With one inflight slot and a one-deep queue, a third concurrent
+        request must be shed with a structured ``overloaded`` error
+        carrying a positive ``retry_after_s``; the client's backoff
+        retry must then complete, and no request may hang or be dropped
+        without an error.
     """
     from repro.service import ServiceClient, ServiceConfig, start_in_thread
     from repro.service.requests import build_context, AnalysisRequest
@@ -374,10 +416,22 @@ def run_server_faults(
                         outcome = _server_worker_crash(
                             client, base_params, reference, rng, origins,
                             before)
-                    else:
+                    elif name == "server_degraded_bounds":
                         outcome = _server_degraded_bounds(
                             client, base_params, context, rng, origins,
                             before)
+                    elif name == "server_fleet_kill":
+                        outcome = _server_fleet_kill(
+                            base_params, reference, before)
+                    elif name == "server_restart_mid_request":
+                        outcome = _server_restart_mid_request(
+                            base_params, reference, seed, before)
+                    elif name == "server_snapshot_corruption":
+                        outcome = _server_snapshot_corruption(
+                            base_params, reference, before)
+                    else:  # server_queue_overflow
+                        outcome = _server_queue_overflow(
+                            base_params, reference, origins, seed, before)
                 except Exception as exc:  # a scenario must never abort
                     outcome = FaultScenarioResult(
                         name, False,
@@ -484,6 +538,315 @@ def _server_degraded_bounds(client, base_params, context, rng, origins,
         "server_degraded_bounds", True,
         f"origin {victim} degraded with sound bound "
         f"{bound * 1e12:.1f} ps >= {ceiling * 1e12:.1f} ps", recovery)
+
+
+def _server_fleet_kill(base_params, reference, before) -> FaultScenarioResult:
+    """A fleet worker OOM-killed mid-request must cost one attempt, not
+    the daemon: the retry lands on a respawned worker and the served
+    bytes match the threaded reference."""
+    from repro.service import ServiceClient, ServiceConfig, start_in_thread
+
+    handle = start_in_thread(ServiceConfig(
+        allow_fault_injection=True, heartbeat_interval=0.25, fleet=2))
+    try:
+        with ServiceClient(handle.host, handle.port) as client:
+            result = client.call("analyze", dict(
+                base_params, fleet_fault={"crash_attempts": [0]}))
+    finally:
+        handle.stop()
+    recovery = _delta(before)
+    if result.get("cached"):
+        return FaultScenarioResult(
+            "server_fleet_kill", False,
+            "fault-injected request was served from the result memo",
+            recovery)
+    if result["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_fleet_kill", False,
+            "fleet-recovered report differs from the threaded reference",
+            recovery)
+    for counter, why in (
+        ("service.worker_crashes", "no worker death detected"),
+        ("service.request_retries", "no fleet retry happened"),
+    ):
+        if not recovery.get(counter):
+            return FaultScenarioResult(
+                "server_fleet_kill", False,
+                f"no {counter} recorded ({why})", recovery)
+    return FaultScenarioResult(
+        "server_fleet_kill", True,
+        "report identical after the fleet worker was hard-killed",
+        recovery)
+
+
+def _server_restart_mid_request(base_params, reference, seed,
+                                before) -> FaultScenarioResult:
+    """Hard-kill the daemon under an in-flight request, restart it on
+    the same port from the last snapshot: the client's retry loop must
+    recover identical bytes, and the restarted memo must answer a
+    deterministic repeat ``cached``."""
+    from repro.service import ServiceClient, ServiceConfig, start_in_thread
+
+    shared = dict(allow_fault_injection=True, heartbeat_interval=0.25,
+                  fleet=1, snapshot_interval_s=3600.0)
+    with tempfile.TemporaryDirectory(prefix="repro-server-faults-") as tmp:
+        snapshot = os.path.join(tmp, "warm.json")
+        first = start_in_thread(ServiceConfig(snapshot_path=snapshot,
+                                              **shared))
+        try:
+            with ServiceClient(first.host, first.port) as client:
+                warm = client.call("analyze", dict(base_params))
+            first.server.snapshot_now()
+            if warm["report"] != reference["report"]:
+                return FaultScenarioResult(
+                    "server_restart_mid_request", False,
+                    "fleet warm-up report differs from the reference",
+                    _delta(before))
+            host, port = first.host, first.port
+            box = {}
+
+            def _retrying_call():
+                retry_client = ServiceClient(host, port, timeout=120.0)
+                try:
+                    # The hang keeps attempt 0 in flight long enough for
+                    # the kill to land mid-request; the fault also makes
+                    # the request non-memoizable, so the restarted
+                    # server must actually recompute it.
+                    box["result"] = retry_client.call_with_retry(
+                        "analyze",
+                        dict(base_params,
+                             fleet_fault={"hang_attempts": [0],
+                                          "hang_s": 4.0}),
+                        retries=8, backoff_s=0.25,
+                        rng=random.Random(seed))
+                except Exception as exc:
+                    box["error"] = exc
+                finally:
+                    retry_client.close()
+
+            caller = threading.Thread(target=_retrying_call, daemon=True)
+            caller.start()
+            time.sleep(1.0)  # let the request reach the hung worker
+        finally:
+            first.kill()  # simulated crash: no exit snapshot
+        second = start_in_thread(ServiceConfig(
+            snapshot_path=snapshot, host=host, port=port, **shared))
+        try:
+            caller.join(90.0)
+            with ServiceClient(second.host, second.port) as client:
+                again = client.call("analyze", dict(base_params))
+        finally:
+            second.stop()
+    recovery = _delta(before)
+    if caller.is_alive():
+        return FaultScenarioResult(
+            "server_restart_mid_request", False,
+            "client retry never completed (hung across the restart)",
+            recovery)
+    if "error" in box:
+        exc = box["error"]
+        return FaultScenarioResult(
+            "server_restart_mid_request", False,
+            f"client retry failed: {type(exc).__name__}: {exc}", recovery)
+    if box["result"]["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_restart_mid_request", False,
+            "retried report differs from the pre-crash reference",
+            recovery)
+    if not again.get("cached") or again["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_restart_mid_request", False,
+            "restart did not answer the deterministic repeat from the "
+            "re-warmed memo", recovery)
+    if not recovery.get("service.snapshot_restores"):
+        return FaultScenarioResult(
+            "server_restart_mid_request", False,
+            "restart restored no warm-state snapshot", recovery)
+    return FaultScenarioResult(
+        "server_restart_mid_request", True,
+        "retry recovered identical bytes across a crash+restart; memo "
+        "re-warmed from the snapshot", recovery)
+
+
+def _server_snapshot_corruption(base_params, reference,
+                                before) -> FaultScenarioResult:
+    """A tampered snapshot (well-formed JSON, wrong digest) must be
+    discarded on boot, never trusted, and the cold recompute must stay
+    byte-identical."""
+    from repro.service import ServiceClient, ServiceConfig, start_in_thread
+
+    shared = dict(heartbeat_interval=0.25, snapshot_interval_s=3600.0)
+    with tempfile.TemporaryDirectory(prefix="repro-server-faults-") as tmp:
+        snapshot = os.path.join(tmp, "warm.json")
+        first = start_in_thread(ServiceConfig(snapshot_path=snapshot,
+                                              **shared))
+        try:
+            with ServiceClient(first.host, first.port) as client:
+                client.call("analyze", dict(base_params))
+        finally:
+            first.drain()  # graceful exit writes the snapshot
+        if not os.path.exists(snapshot):
+            return FaultScenarioResult(
+                "server_snapshot_corruption", False,
+                "drain wrote no warm-state snapshot", _delta(before))
+        # Tamper *inside* an otherwise well-formed document: the digest
+        # guard, not the JSON parser, must catch this.
+        with open(snapshot) as fh:
+            document = json.load(fh)
+        document["payload"]["memo"] = []
+        with open(snapshot, "w") as fh:
+            json.dump(document, fh)
+        second = start_in_thread(ServiceConfig(snapshot_path=snapshot,
+                                               **shared))
+        try:
+            with ServiceClient(second.host, second.port) as client:
+                result = client.call("analyze", dict(base_params))
+        finally:
+            second.stop()
+    recovery = _delta(before)
+    if not recovery.get("service.snapshot_discarded"):
+        return FaultScenarioResult(
+            "server_snapshot_corruption", False,
+            "tampered snapshot was not discarded", recovery)
+    if recovery.get("service.snapshot_restores"):
+        return FaultScenarioResult(
+            "server_snapshot_corruption", False,
+            "tampered snapshot was restored (trusted!)", recovery)
+    if result.get("cached"):
+        return FaultScenarioResult(
+            "server_snapshot_corruption", False,
+            "cold server served a memo hit after discarding its "
+            "snapshot", recovery)
+    if result["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_snapshot_corruption", False,
+            "cold recompute differs from the reference", recovery)
+    return FaultScenarioResult(
+        "server_snapshot_corruption", True,
+        "tampered snapshot discarded; cold recompute byte-identical",
+        recovery)
+
+
+def _await_admission(client, predicate, timeout: float = 10.0) -> bool:
+    """Poll the stats op until the admission payload satisfies
+    ``predicate`` (stats bypasses admission, so this never queues)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = client.call("stats")
+        if predicate(stats.get("admission") or {}):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def _server_queue_overflow(base_params, reference, origins, seed,
+                           before) -> FaultScenarioResult:
+    """With one slot and a one-deep queue, the third concurrent request
+    must be shed with ``overloaded`` + ``retry_after_s``; the backoff
+    retry completes, and nothing hangs or vanishes without an error."""
+    from repro.service import (
+        ServiceClient,
+        ServiceConfig,
+        ServiceError,
+        start_in_thread,
+    )
+
+    handle = start_in_thread(ServiceConfig(
+        allow_fault_injection=True, heartbeat_interval=0.25,
+        max_concurrent=1, max_inflight=1, max_queue=1))
+    slow_box, queued_box = {}, {}
+    threads = []
+
+    def _call_into(box, params):
+        client = ServiceClient(handle.host, handle.port, timeout=120.0)
+        try:
+            box["result"] = client.call("analyze", params)
+        except Exception as exc:
+            box["error"] = exc
+        finally:
+            client.close()
+
+    slow_params = dict(base_params, fault={
+        "hang_origins": [origins[0]], "hang_attempts": [0],
+        "hang_seconds": 3.0})
+    try:
+        with ServiceClient(handle.host, handle.port) as probe:
+            threads.append(threading.Thread(
+                target=_call_into, args=(slow_box, slow_params),
+                daemon=True))
+            threads[-1].start()
+            if not _await_admission(probe, lambda a: a.get("inflight")):
+                return FaultScenarioResult(
+                    "server_queue_overflow", False,
+                    "slow request never occupied the inflight slot",
+                    _delta(before))
+            threads.append(threading.Thread(
+                target=_call_into, args=(queued_box, dict(base_params)),
+                daemon=True))
+            threads[-1].start()
+            if not _await_admission(probe, lambda a: a.get("queued")):
+                return FaultScenarioResult(
+                    "server_queue_overflow", False,
+                    "second request never queued", _delta(before))
+            try:
+                probe.call("analyze", dict(base_params))
+            except ServiceError as exc:
+                shed = exc
+            else:
+                return FaultScenarioResult(
+                    "server_queue_overflow", False,
+                    "third concurrent request was not shed",
+                    _delta(before))
+            if shed.code != "overloaded":
+                return FaultScenarioResult(
+                    "server_queue_overflow", False,
+                    f"shed with code {shed.code!r}, not 'overloaded'",
+                    _delta(before))
+            if not shed.retry_after_s or shed.retry_after_s <= 0:
+                return FaultScenarioResult(
+                    "server_queue_overflow", False,
+                    "overloaded error carries no positive retry_after_s",
+                    _delta(before))
+            retried = probe.call_with_retry(
+                "analyze", dict(base_params), retries=8, backoff_s=0.25,
+                rng=random.Random(seed))
+            for thread in threads:
+                thread.join(60.0)
+    finally:
+        handle.stop()
+    recovery = _delta(before)
+    if any(thread.is_alive() for thread in threads):
+        return FaultScenarioResult(
+            "server_queue_overflow", False,
+            "a concurrent request hung past the load burst", recovery)
+    for box, label in ((slow_box, "slow"), (queued_box, "queued")):
+        if "error" in box:
+            exc = box["error"]
+            return FaultScenarioResult(
+                "server_queue_overflow", False,
+                f"{label} request failed: {type(exc).__name__}: {exc}",
+                recovery)
+        if box["result"]["report"] != reference["report"]:
+            return FaultScenarioResult(
+                "server_queue_overflow", False,
+                f"{label} request's report differs from the reference",
+                recovery)
+    if retried["report"] != reference["report"]:
+        return FaultScenarioResult(
+            "server_queue_overflow", False,
+            "shed request's retry returned a different report", recovery)
+    for counter, why in (
+        ("service.overloaded", "no shed recorded"),
+        ("service.queued", "nothing ever waited in the queue"),
+    ):
+        if not recovery.get(counter):
+            return FaultScenarioResult(
+                "server_queue_overflow", False,
+                f"no {counter} recorded ({why})", recovery)
+    return FaultScenarioResult(
+        "server_queue_overflow", True,
+        f"third request shed with retry_after_s={shed.retry_after_s:g}s; "
+        "backoff retry completed identically", recovery)
 
 
 def _run_corrupt_charlib(circuit, charlib, seed, jobs, max_paths,

@@ -1,0 +1,127 @@
+"""HotCache under concurrency: single-flight builds, safe eviction.
+
+The per-key build gate must collapse racing cold requests for one
+configuration into a single build (the whole point of the hot cache:
+context builds cost ~seconds), and LRU churn during an in-flight build
+must never surface a half-built value -- an entry lands in the cache
+only once its build returned.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.service.cache import HotCache
+
+
+def _run_threads(count, target):
+    threads = [threading.Thread(target=target, args=(i,), daemon=True)
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30.0)
+    assert not any(t.is_alive() for t in threads), "cache access hung"
+
+
+def test_racing_cold_requests_build_once():
+    cache = HotCache(4, name="race")
+    builds = []
+    barrier = threading.Barrier(8)
+    results = [None] * 8
+
+    def build():
+        builds.append(threading.get_ident())
+        time.sleep(0.2)  # hold the build open so every racer piles up
+        return {"token": object()}
+
+    def worker(i):
+        barrier.wait()
+        results[i] = cache.get_or_build(("90nm", "soa"), build)
+
+    _run_threads(8, worker)
+    assert len(builds) == 1, f"{len(builds)} builds for one key"
+    assert all(r is results[0] for r in results), \
+        "racers observed different objects for one key"
+    assert obs.counter("service.race_misses").value == 1
+    assert obs.counter("service.race_hits").value >= 1
+
+
+def test_concurrent_keys_build_in_parallel_not_serialized():
+    cache = HotCache(8, name="par")
+    barrier = threading.Barrier(4)
+    started = time.perf_counter()
+
+    def worker(i):
+        barrier.wait()
+        cache.get_or_build(("key", i),
+                           lambda: time.sleep(0.2) or {"i": i})
+
+    _run_threads(4, worker)
+    elapsed = time.perf_counter() - started
+    # Four 0.2s builds on distinct keys must overlap: one global build
+    # lock would cost >= 0.8s.
+    assert elapsed < 0.7, \
+        f"distinct-key builds serialized ({elapsed:.2f}s for 4 x 0.2s)"
+    assert len(cache) == 4
+
+
+def test_eviction_churn_during_inflight_build_serves_complete_value():
+    cache = HotCache(1, name="churn")
+    release = threading.Event()
+    builds = []
+
+    def build_slow():
+        builds.append(1)
+        value = {"complete": False}
+        assert release.wait(10.0), "test driver never released the build"
+        value["complete"] = True
+        return value
+
+    got = [None, None]
+
+    def getter(i):
+        got[i] = cache.get_or_build(("victim",), build_slow)
+
+    getters = [threading.Thread(target=getter, args=(i,), daemon=True)
+               for i in range(2)]
+    for thread in getters:
+        thread.start()
+    time.sleep(0.1)  # both racers inside get_or_build, build in flight
+    # Churn the capacity-1 LRU while the victim key is mid-build.
+    cache.get_or_build(("filler-b",), lambda: "b")
+    cache.get_or_build(("filler-c",), lambda: "c")
+    release.set()
+    for thread in getters:
+        thread.join(30.0)
+    assert not any(t.is_alive() for t in getters)
+    assert builds == [1], "racers on one key built more than once"
+    for value in got:
+        assert value is not None and value["complete"] is True, \
+            "a getter observed a half-built value"
+    # A post-churn re-get is either a hit (the finished build landed
+    # last, evicting a filler) or a fresh *complete* rebuild -- both
+    # fine; partial state is the only failure.
+    again = cache.get_or_build(("victim",),
+                               lambda: {"complete": True, "rebuilt": True})
+    assert again["complete"] is True
+
+
+def test_capacity_one_eviction_counts_and_keeps_newest():
+    cache = HotCache(1, name="tiny")
+    cache.get_or_build(("a",), lambda: "a")
+    cache.get_or_build(("b",), lambda: "b")
+    cache.get_or_build(("c",), lambda: "c")
+    assert cache.keys() == [("c",)]
+    assert obs.counter("service.tiny_evictions").value == 2
+    # The survivor is still a hit, not a rebuild.
+    assert cache.get_or_build(("c",), lambda: "rebuilt") == "c"
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match=">= 1"):
+        HotCache(0)

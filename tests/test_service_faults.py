@@ -33,6 +33,21 @@ def test_server_fault_scenarios_recover(service_seed):
     assert degraded.recovery.get("resilience.degraded_origins", 0) >= 1
     assert "sound bound" in degraded.detail
 
+    fleet_kill = report.scenarios[2]
+    assert fleet_kill.recovery.get("service.worker_crashes", 0) >= 1
+    assert fleet_kill.recovery.get("service.request_retries", 0) >= 1
+
+    restart = report.scenarios[3]
+    assert restart.recovery.get("service.snapshot_restores", 0) >= 1
+
+    corruption = report.scenarios[4]
+    assert corruption.recovery.get("service.snapshot_discarded", 0) >= 1
+    assert not corruption.recovery.get("service.snapshot_restores", 0)
+
+    overflow = report.scenarios[5]
+    assert overflow.recovery.get("service.overloaded", 0) >= 1
+    assert overflow.recovery.get("service.queued", 0) >= 1
+
 
 def test_unknown_server_scenario_rejected():
     with pytest.raises(ValueError, match="unknown server fault"):
